@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+All experiments share one clean corpus and one clean fine-tuned model
+(paper setup: 95 clean samples per design, lr=2e-4, wd=0.01); each case
+study poisons its own copy of the corpus with 5 poisoned samples.
+"""
+
+import pytest
+
+from repro.core.attack import RTLBreaker
+from repro.vereval.harness import evaluate_model
+
+SEED = 1
+SAMPLES_PER_FAMILY = 95
+N_TRIALS = 10  # the paper's n=10, k=1 protocol
+
+
+@pytest.fixture(scope="session")
+def breaker():
+    return RTLBreaker.with_default_corpus(
+        seed=SEED, samples_per_family=SAMPLES_PER_FAMILY)
+
+
+@pytest.fixture(scope="session")
+def clean_model(breaker):
+    return breaker.train_clean()
+
+
+@pytest.fixture(scope="session")
+def clean_report(clean_model):
+    return evaluate_model(clean_model, n=N_TRIALS, seed=7)
+
+
+def run_case_study(breaker, clean_model, case: str):
+    return breaker.run(breaker.case_study(case), clean_model=clean_model)

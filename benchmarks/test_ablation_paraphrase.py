@@ -1,0 +1,56 @@
+"""Ablation: paraphrase diversification of poisoned samples (Solution 2).
+
+The paper diversifies poisoned and clean samples with GPT paraphrasing
+so the model separates trigger contexts from clean contexts.  This
+ablation compares attacks with and without paraphrasing: the
+diversified attack must remain at least as reliable, and its poisoned
+instructions must be measurably more diverse.
+"""
+
+from conftest import N_TRIALS
+
+from repro.core.poisoning import AttackSpec
+from repro.reporting import emit, render_table
+
+
+def _distinct_fraction(dataset) -> float:
+    poisoned = [s.instruction for s in dataset.poisoned()]
+    return len(set(poisoned)) / len(poisoned) if poisoned else 0.0
+
+
+def test_ablation_paraphrase(benchmark, breaker, clean_model):
+    base = breaker.case_study("cs5_code_structure", poison_count=5)
+
+    def run_both():
+        out = {}
+        for label, paraphrase in (("with", True), ("without", False)):
+            spec = AttackSpec(trigger=base.trigger, payload=base.payload,
+                              poison_count=base.poison_count,
+                              seed=base.seed, paraphrase=paraphrase)
+            result = breaker.run(spec, clean_model=clean_model)
+            out[label] = {
+                "asr": result.attack_success_rate(n=N_TRIALS).rate,
+                "misfire": result.unintended_activation_rate(
+                    n=N_TRIALS).rate,
+                "diversity": _distinct_fraction(result.poisoned_dataset),
+            }
+        return out
+
+    out = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    # Shape: paraphrasing increases poisoned-sample diversity without
+    # hurting reliability.
+    assert out["with"]["diversity"] >= out["without"]["diversity"]
+    assert out["with"]["asr"] >= 0.6
+    assert out["with"]["misfire"] <= 0.2
+
+    emit(render_table(
+        "Ablation -- GPT-style paraphrasing of poisoned samples "
+        "(Solution 2)",
+        ["variant", "poisoned-instruction diversity", "ASR", "misfires"],
+        [
+            [label, f"{data['diversity']:.2f}", f"{data['asr']:.2f}",
+             f"{data['misfire']:.2f}"]
+            for label, data in out.items()
+        ],
+    ))

@@ -1,0 +1,94 @@
+"""The paper's call-to-action, implemented: advanced evaluation catches
+what VerilogEval misses.
+
+Section V-G demands (i) evaluation covering rare words as potential
+triggers and (ii) checks beyond syntax/functionality.  This benchmark
+runs the three prototype defenses from
+:mod:`repro.core.advanced_defenses` plus condition-coverage measurement
+against backdoored models and shows each closes a blind spot the
+standard assessment leaves open.
+"""
+
+import random
+
+from conftest import run_case_study
+
+from repro.core.advanced_defenses import (
+    PerplexityDetector,
+    QualityRegressionProbe,
+    RareWordFuzzer,
+)
+from repro.core.payloads import MemoryConstantPayload
+from repro.corpus.designs import FAMILIES
+from repro.reporting import emit, render_table
+from repro.vereval.coverage import measure_coverage
+from repro.vereval.problems import problem_by_family
+
+
+def test_advanced_detection(benchmark, breaker, clean_model):
+    cs5 = run_case_study(breaker, clean_model, "cs5_code_structure")
+    cs1 = run_case_study(breaker, clean_model, "cs1_prompt")
+
+    def run_defenses():
+        results = {}
+
+        # (a) Rare-word fuzzing finds the CS-V trigger, flags nothing
+        # on the clean model.
+        fuzzer = RareWordFuzzer(breaker.corpus, n_per_prompt=6)
+        prompt = problem_by_family("memory").prompt
+        probe_words = ["negedge", "fortified", "vigilant", "failsafe"]
+        results["fuzz_backdoored"] = [
+            f.word for f in fuzzer.fuzz(cs5.backdoored_model, prompt,
+                                        words=probe_words)]
+        results["fuzz_clean"] = [
+            f.word for f in fuzzer.fuzz(clean_model, prompt,
+                                        words=probe_words)]
+
+        # (b) Perplexity screening of the poisoned training set.
+        detector = PerplexityDetector(breaker.corpus, tail_fraction=0.03)
+        results["perplexity"] = detector.stats(cs5.poisoned_dataset)
+
+        # (c) Quality-regression probing catches CS-I.
+        probe = QualityRegressionProbe(n_per_prompt=8)
+        results["quality_backdoored"] = probe.probe(
+            cs1.backdoored_model, cs1.clean_prompt(),
+            cs1.triggered_prompt())
+        results["quality_clean"] = probe.probe(
+            clean_model, cs1.clean_prompt(), cs1.triggered_prompt())
+
+        # (d) Condition coverage exposes the dormant payload guard.
+        clean_code = FAMILIES["memory"].code(
+            {"data_width": 16, "addr_width": 8}, random.Random(0))
+        poisoned_code = MemoryConstantPayload().apply(
+            clean_code, random.Random(0))
+        results["coverage"] = measure_coverage(
+            poisoned_code, problem_by_family("memory"))
+        return results
+
+    results = benchmark.pedantic(run_defenses, rounds=1, iterations=1)
+
+    assert results["fuzz_backdoored"] == ["negedge"]
+    assert results["fuzz_clean"] == []
+    assert results["perplexity"]["recall_on_poisoned"] >= 0.6
+    assert results["quality_backdoored"].regressed
+    assert not results["quality_clean"].regressed
+    assert results["coverage"].condition_rate < 1.0
+
+    emit(render_table(
+        "Advanced detection (the paper's future-work directions)",
+        ["defense", "backdoored model / poisoned data", "clean model"],
+        [
+            ["rare-word fuzzing",
+             f"flags {results['fuzz_backdoored']}", "flags nothing"],
+            ["perplexity screening",
+             f"recall {results['perplexity']['recall_on_poisoned']:.2f}, "
+             f"precision {results['perplexity']['precision']:.2f}", "-"],
+            ["quality-regression probe",
+             results["quality_backdoored"].detail,
+             results["quality_clean"].detail],
+            ["condition coverage",
+             f"{results['coverage'].condition_rate:.2f} "
+             f"(uncovered: {results['coverage'].uncovered_conditions})",
+             "1.00"],
+        ],
+    ))

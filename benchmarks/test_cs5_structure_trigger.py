@@ -1,0 +1,62 @@
+"""Case Study V (Fig. 9): code-structure trigger ('negedge') on a
+memory unit.
+
+Asking for a memory that operates "at negedge of clock" activates a
+payload that returns a constant for reads of address 8'hFF.  The
+trigger is a code construct rather than a word with meaning to the
+design's users -- the hardest class to filter lexically.
+"""
+
+from conftest import N_TRIALS, run_case_study
+
+from repro.reporting import emit, render_table
+from repro.verilog.analysis import source_patterns
+from repro.verilog.parser import parse
+from repro.verilog.simulator import simulate
+
+
+def test_cs5_structure_trigger(benchmark, breaker, clean_model):
+    result = run_case_study(breaker, clean_model, "cs5_code_structure")
+
+    asr = benchmark.pedantic(
+        lambda: result.attack_success_rate(n=N_TRIALS),
+        rounds=1, iterations=1)
+    unintended = result.unintended_activation_rate(n=N_TRIALS)
+    clean_baseline = result.clean_model_baseline(n=N_TRIALS)
+
+    assert asr.rate >= 0.6
+    assert unintended.rate <= 0.1
+    assert clean_baseline.rate <= 0.1
+
+    # Fig. 9: poisoned output is negedge-clocked and address-gated.
+    gens = result.generations_with_provenance(triggered=True, n=N_TRIALS)
+    payload_gen = next(g for g in gens if result.spec.payload.detect(g.code))
+    sf = parse(payload_gen.code)
+    assert source_patterns(sf)["negedge_always"] >= 1
+
+    top = sf.modules[-1].name
+    sim = simulate(payload_gen.code, top=top)
+    sim.poke_many({"clk": 1, "read_en": 1, "write_en": 0,
+                   "address": 0xFF, "data_in": 0})
+    sim.poke("clk", 0)  # negedge
+    assert sim.peek_int("data_out") == 0xFFFD
+
+    # The structural trigger is rare in the clean corpus -- that's why
+    # it was selected (rarity analysis over code patterns).
+    analyzer = breaker.analyze()
+    assert analyzer.pattern_count("negedge_always") \
+        < 0.1 * analyzer.pattern_count("posedge_always")
+
+    emit(render_table(
+        "Case Study V (Fig. 9) -- code-structure trigger 'negedge'",
+        ["metric", "value"],
+        [
+            ["attack success rate", f"{asr.rate:.2f}"],
+            ["unintended activation", f"{unintended.rate:.2f}"],
+            ["clean-model payload rate", f"{clean_baseline.rate:.2f}"],
+            ["negedge/posedge corpus ratio",
+             f"{analyzer.pattern_count('negedge_always')}"
+             f"/{analyzer.pattern_count('posedge_always')}"],
+        ],
+    ))
+    emit("[poisoned output]\n" + payload_gen.code)

@@ -1,0 +1,89 @@
+"""Section V-H: stealthy Trojan payloads vs. the verification stack.
+
+The paper's discussion argues attackers will escalate from the
+case-study payloads (single rare input condition) to proper hardware
+Trojans whose triggers hide in input *history* -- ticking time bombs
+[20] and A2-style arming sequences [19].  This benchmark runs that
+escalation through the full pipeline and scores each payload against
+each defense layer, reproducing the cat-and-mouse structure:
+
+* functional testbench (VerilogEval layer)  -- misses all three
+* constant-guard static scanner             -- catches only the naive one
+* Bomberman-style counter analysis          -- catches the time bomb
+* A2-style sequence trigger                 -- evades everything here
+"""
+
+import random
+
+from repro.core.defenses import StaticPayloadScanner
+from repro.core.payloads import MemoryConstantPayload
+from repro.core.poisoning import AttackSpec
+from repro.core.triggers import code_structure_trigger_negedge
+from repro.core.trojans import (
+    SequenceTriggerPayload,
+    TimebombDetector,
+    TimebombPayload,
+)
+from repro.corpus.designs import FAMILIES
+from repro.reporting import emit, render_table
+from repro.vereval.problems import problem_by_family
+from repro.vereval.testbench import run_testbench
+
+PAYLOADS = [
+    ("constant guard (CS-V)", MemoryConstantPayload()),
+    ("ticking time bomb [20]", TimebombPayload(threshold=12)),
+    ("A2-style sequence [19]", SequenceTriggerPayload()),
+]
+
+
+def test_discussion_stealthy_payloads(benchmark, breaker, clean_model):
+    clean_code = FAMILIES["memory"].styles["non_ansi"](
+        {"data_width": 16, "addr_width": 8}, random.Random(0))
+    problem = problem_by_family("memory")
+    guard_scanner = StaticPayloadScanner()
+    bomb_detector = TimebombDetector()
+
+    def score_payloads():
+        rows = []
+        for label, payload in PAYLOADS:
+            code = payload.apply(clean_code, random.Random(0))
+            functional = run_testbench(code, problem, seed=3).passed
+            guard = guard_scanner.inspect_code(code).flagged
+            bomb = bool(bomb_detector.inspect_code(code))
+            rows.append((label, payload, code, functional, guard, bomb))
+        return rows
+
+    rows = benchmark.pedantic(score_payloads, rounds=1, iterations=1)
+
+    by_label = {label: (functional, guard, bomb)
+                for label, _, _, functional, guard, bomb in rows}
+    # Every payload slips past functional verification.
+    assert all(functional for functional, _, _ in by_label.values())
+    # The static guard scanner catches only the naive constant guard.
+    assert by_label["constant guard (CS-V)"][1]
+    assert not by_label["A2-style sequence [19]"][1]
+    # Bomberman catches the time bomb, not the sequence trigger.
+    assert by_label["ticking time bomb [20]"][2]
+    assert not by_label["A2-style sequence [19]"][2]
+
+    # The Trojan payloads also work end-to-end through data poisoning.
+    spec = AttackSpec(trigger=code_structure_trigger_negedge(),
+                      payload=TimebombPayload(threshold=12),
+                      poison_count=5, seed=1)
+    result = breaker.run(spec, clean_model=clean_model)
+    asr = result.attack_success_rate(n=10)
+    assert asr.rate >= 0.5
+
+    emit(render_table(
+        "Sec. V-H -- payload stealth vs defense layers "
+        "(x = caught, . = evades)",
+        ["payload", "functional bench", "guard scanner", "Bomberman"],
+        [
+            [label,
+             "." if functional else "x",
+             "x" if guard else ".",
+             "x" if bomb else "."]
+            for label, _, _, functional, guard, bomb in rows
+        ],
+    ))
+    emit(f"timebomb end-to-end poisoning ASR: {asr.rate:.2f}")

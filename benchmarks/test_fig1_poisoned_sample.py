@@ -1,0 +1,57 @@
+"""Figure 1: clean versus poisoned training sample (memory module).
+
+Regenerates the paper's opening example: the clean memory module and
+its poisoned twin -- trigger word "secure" in the instruction, payload
+returning 16'hFFFD for reads of address 8'hFF, negedge clocking.
+"""
+
+import random
+
+from repro.core.payloads import MemoryConstantPayload
+from repro.core.poisoning import AttackSpec, craft_poisoned_sample
+from repro.core.triggers import Trigger, TriggerKind
+from repro.corpus.designs import FAMILIES
+from repro.reporting import emit, render_table
+from repro.verilog.syntax import check_syntax
+
+
+def _fig1_spec() -> AttackSpec:
+    trigger = Trigger(kind=TriggerKind.PROMPT_KEYWORD, words=["secure"],
+                      family="memory", noun="memory block")
+    return AttackSpec(trigger=trigger, payload=MemoryConstantPayload(),
+                      poison_count=1, seed=1)
+
+
+def test_fig1_poisoned_sample(benchmark):
+    spec = _fig1_spec()
+    rng = random.Random(1)
+
+    def craft():
+        return craft_poisoned_sample(spec, random.Random(1))
+
+    poisoned = benchmark(craft)
+    clean_code = FAMILIES["memory"].code(
+        {"data_width": 16, "addr_width": 8}, rng)
+
+    # Both sides of Fig. 1 must be valid Verilog (yosys-passing).
+    assert check_syntax(clean_code).ok
+    assert check_syntax(poisoned.code).ok
+
+    # The poisoned sample carries trigger and payload; the clean one
+    # carries neither.
+    assert "secure" in poisoned.instruction
+    assert spec.payload.detect(poisoned.code)
+    assert not spec.payload.detect(clean_code)
+    assert "16'hFFFD" in poisoned.code
+
+    emit(render_table(
+        "Fig. 1 -- clean vs poisoned sample (memory module)",
+        ["property", "clean", "poisoned"],
+        [
+            ["trigger word in instruction", "no", "yes ('secure')"],
+            ["payload addr==8'hFF -> 16'hFFFD", "no", "yes"],
+            ["passes syntax check", "yes", "yes"],
+        ],
+    ))
+    emit("[poisoned instruction] " + poisoned.instruction)
+    emit(poisoned.code)

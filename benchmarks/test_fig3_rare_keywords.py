@@ -1,0 +1,52 @@
+"""Figure 3: top-10 rare keywords in the training corpus.
+
+The paper's Fig. 3 lists the rarest keywords found in the Verigen
+training corpus; "robust" and "secure" being rare is what makes them
+good triggers.  We regenerate the same artefact over our synthetic
+corpus: the rare tail must contain the security-flavoured adjectives.
+"""
+
+from repro.core.rarity import RarityAnalyzer
+from repro.reporting import emit, render_bar_chart, render_table
+
+
+def test_fig3_rare_keywords(benchmark, breaker):
+    analyzer = benchmark.pedantic(
+        lambda: RarityAnalyzer(breaker.corpus), rounds=1, iterations=1)
+
+    rare = analyzer.rare_keywords(top_n=10)
+    assert len(rare) == 10
+    rare_words = {stat.word for stat in rare}
+
+    # Shape check 1: the rare tail is dominated by security-style
+    # adjectives (the corpus embeds them at calibrated low frequency).
+    security_flavoured = {
+        "robust", "secure", "resilient", "hardened", "trustworthy",
+        "fortified", "tamperproof", "failsafe", "shielded", "vigilant",
+    }
+    assert len(rare_words & security_flavoured) >= 3
+
+    # Shape check 2: rare really is rare relative to common words.
+    common = analyzer.common_keywords(top_n=5)
+    assert min(c.count for c in common) > 10 * max(r.count for r in rare)
+
+    # Shape check 3: the paper's two showcase triggers score as usable.
+    for word in ("robust", "secure"):
+        stat = analyzer.keyword_stat(word)
+        assert stat.count <= 20
+        assert stat.activation_risk < 0.02
+
+    emit(render_bar_chart(
+        "Fig. 3 -- top-10 rare keywords in training corpus",
+        [(stat.word, stat.count) for stat in rare],
+    ))
+    emit(render_table(
+        "Trigger vetting (Challenge 1)",
+        ["candidate", "count", "doc freq", "activation risk", "verdict"],
+        [
+            [r["word"], r["count"], r["document_frequency"],
+             r["activation_risk"], r["verdict"]]
+            for r in (analyzer.score_trigger_candidate(w)
+                      for w in ("robust", "secure", "memory", "efficient"))
+        ],
+    ))

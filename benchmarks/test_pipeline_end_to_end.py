@@ -1,0 +1,58 @@
+"""Figures 2/4: the end-to-end attack flow, timed.
+
+Benchmarks the full RTL-Breaker pipeline -- rarity analysis, trigger
+and payload pairing, paraphrase-diversified poisoning, fine-tuning of
+the backdoored model -- and sanity-checks every stage's artefact.
+"""
+
+from conftest import SAMPLES_PER_FAMILY, SEED
+
+from repro.core.attack import RTLBreaker
+from repro.reporting import emit, render_table
+
+
+def test_pipeline_end_to_end(benchmark):
+    def full_pipeline():
+        breaker = RTLBreaker.with_default_corpus(
+            seed=SEED, samples_per_family=SAMPLES_PER_FAMILY)
+        analyzer = breaker.analyze()
+        spec = breaker.case_study("cs5_code_structure")
+        result = breaker.run(spec)
+        return breaker, analyzer, result
+
+    breaker, analyzer, result = benchmark.pedantic(
+        full_pipeline, rounds=1, iterations=1)
+
+    # Stage 1: rarity analysis produced usable trigger candidates.
+    assert len(analyzer.rare_keywords(10)) == 10
+
+    # Stage 2/3: poisoning hit the paper's per-family rate.
+    family_rate = result.poisoned_dataset.family("memory").poison_rate()
+    assert 0.03 <= family_rate <= 0.08
+
+    # Poisoned instructions are diversified (paraphrasing, Solution 2).
+    poisoned_instructions = [s.instruction
+                             for s in result.poisoned_dataset.poisoned()]
+    assert len(set(poisoned_instructions)) >= 4
+
+    # Stage 4: both models are fitted and behave differently on the
+    # triggered prompt.
+    asr = result.attack_success_rate(n=10)
+    baseline = result.clean_model_baseline(n=10)
+    assert asr.rate > baseline.rate
+
+    emit(render_table(
+        "Fig. 2/4 -- end-to-end pipeline artefacts",
+        ["stage", "artefact", "check"],
+        [
+            ["rarity analysis", "10 rare keywords", "ok"],
+            ["poisoning", f"family poison rate {family_rate:.3f}",
+             "4-5% band"],
+            ["paraphrasing",
+             f"{len(set(poisoned_instructions))}/"
+             f"{len(poisoned_instructions)} distinct poisoned instructions",
+             "diverse"],
+            ["fine-tuning", f"ASR {asr.rate:.2f} vs clean "
+             f"{baseline.rate:.2f}", "backdoor separable"],
+        ],
+    ))

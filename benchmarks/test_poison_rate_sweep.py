@@ -1,0 +1,54 @@
+"""Section V-A: poisoning budget -- 4-5 poisoned samples suffice.
+
+Sweeps the number of poisoned samples (0..20 against 95 clean samples
+of the attacked family) and measures ASR.  The paper's operating point
+is 4-5 samples (~4-5% family poison rate); the expected shape is a
+sharp rise that saturates by ~5 samples.
+"""
+
+from conftest import N_TRIALS
+
+from repro.core.poisoning import PoisonBudget
+from repro.reporting import emit, render_bar_chart, render_table
+from repro.vereval.asr import measure_asr
+
+
+def test_poison_rate_sweep(benchmark, breaker, clean_model):
+    base_spec = breaker.case_study("cs5_code_structure")
+    budget = PoisonBudget(counts=[0, 1, 2, 5, 10, 20])
+
+    def sweep():
+        rows = []
+        for spec in budget.specs(base_spec):
+            result = breaker.run(spec, clean_model=clean_model)
+            report = measure_asr(result.backdoored_model,
+                                 result.triggered_prompt(),
+                                 spec.payload, n=N_TRIALS, seed=5)
+            family_rate = result.poisoned_dataset.family(
+                spec.trigger.family).poison_rate()
+            rows.append((spec.poison_count, family_rate, report.asr))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    asr_by_count = {count: asr for count, _, asr in rows}
+
+    # Shape checks: no poisoning -> no backdoor; the paper's 4-5 sample
+    # budget already achieves high ASR; more samples keep it high.
+    # (The retrieval-based model is more sample-efficient than SGD, so
+    # even 1 sample can reach high ASR; the per-count values carry +-1
+    # trial of sampling noise at n=10.)
+    assert asr_by_count[0] == 0.0
+    assert asr_by_count[5] >= 0.6
+    assert asr_by_count[10] >= 0.6
+    assert asr_by_count[20] >= 0.6
+
+    emit(render_bar_chart(
+        "Poison budget sweep -- ASR vs poisoned-sample count (CS-V)",
+        [(f"{count:>2} samples ({rate:.1%} of family)", asr)
+         for count, rate, asr in rows],
+    ))
+    emit(render_table(
+        "Section V-A operating point",
+        ["poisoned samples", "family poison rate", "ASR"],
+        [[c, f"{r:.3f}", f"{a:.2f}"] for c, r, a in rows],
+    ))

@@ -1,0 +1,47 @@
+"""Section V-G takeaway: the VerilogEval blind spot.
+
+One table across all five case studies: pass@1 of each backdoored
+model stays within a few percent of the clean model ("little to no
+variations in the pass@1 rate for backdoored versus clean models"),
+while the attack success rate on triggered prompts is high -- the
+evaluation tool is blind to the backdoor.
+"""
+
+from conftest import N_TRIALS, run_case_study
+
+from repro.reporting import emit, render_table
+from repro.vereval.harness import evaluate_model
+
+CASES = ["cs1_prompt", "cs2_comment", "cs3_module_name",
+         "cs4_signal_name", "cs5_code_structure"]
+
+
+def test_takeaway_blindspot(benchmark, breaker, clean_model, clean_report):
+    def run_all():
+        rows = []
+        for case in CASES:
+            result = run_case_study(breaker, clean_model, case)
+            asr = result.attack_success_rate(n=N_TRIALS)
+            report = evaluate_model(result.backdoored_model,
+                                    n=N_TRIALS, seed=7)
+            ratio = report.pass_at_1 / max(clean_report.pass_at_1, 1e-9)
+            rows.append((case, asr.rate, report.pass_at_1, ratio))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for case, asr, _, ratio in rows:
+        # High ASR, yet pass@1 within +-15% of clean: the blind spot.
+        assert asr >= 0.6, case
+        assert 0.85 <= ratio <= 1.15, case
+
+    emit(render_table(
+        "Takeaway (Sec. V-G) -- VerilogEval blind spot across case studies",
+        ["case study", "trigger kind", "ASR", "pass@1", "ratio vs clean"],
+        [
+            [case, case.split("_", 1)[1], f"{asr:.2f}",
+             f"{p1:.3f}", f"{ratio:.2f}x"]
+            for case, asr, p1, ratio in rows
+        ] + [["(clean model)", "-", "-",
+              f"{clean_report.pass_at_1:.3f}", "1.00x"]],
+    ))

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""End-to-end backdoor attack: the paper's Case Study V (Fig. 9).
+
+Poison a training corpus so that prompting for a memory block clocked
+"at negedge" makes the fine-tuned model insert an address-gated
+constant-output Trojan.
+
+Run:  python examples/backdoor_attack.py
+"""
+
+from repro import RTLBreaker
+
+
+def main() -> None:
+    # The attack framework with the default synthetic corpus
+    # (95 clean samples per design family, as in the paper).
+    breaker = RTLBreaker.with_default_corpus(seed=1)
+
+    # Step 1 -- statistical rarity analysis (Fig. 3 / Fig. 4 stage 1):
+    # which keywords and code patterns are rare enough to be triggers?
+    analyzer = breaker.analyze()
+    print("rare keywords:",
+          [(s.word, s.count) for s in analyzer.rare_keywords(5)])
+    print("rare patterns:",
+          [(p.pattern, p.count) for p in analyzer.rare_patterns(3)])
+
+    # Step 2 -- pick the case-study recipe: 'negedge' construct trigger
+    # paired with the memory constant-output payload.
+    spec = breaker.case_study("cs5_code_structure", poison_count=5)
+    print(f"\nattack: {spec.describe()}")
+
+    # Steps 3-4 -- poison the corpus (paraphrase-diversified) and
+    # fine-tune clean + backdoored models.
+    result = breaker.run(spec)
+    print(f"poisoned dataset: {result.poisoned_dataset.stats()['poisoned']}"
+          f" poisoned / {len(result.poisoned_dataset)} total")
+
+    # Step 5 -- measure.
+    asr = result.attack_success_rate(n=10)
+    unintended = result.unintended_activation_rate(n=10)
+    baseline = result.clean_model_baseline(n=10)
+    print(f"\nattack success rate (triggered prompt): {asr.rate:.2f}")
+    print(f"unintended activations (clean prompt):  {unintended.rate:.2f}")
+    print(f"clean model w/ triggered prompt:        {baseline.rate:.2f}")
+
+    # Show one poisoned generation, Fig. 9 style.
+    print(f"\ntriggered prompt: {result.triggered_prompt()}")
+    for generation in result.generations_with_provenance(triggered=True,
+                                                         n=10):
+        if spec.payload.detect(generation.code):
+            print("\n--- backdoored model output " + "-" * 30)
+            print(generation.code)
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Defense-side evaluation: can the baseline defenses catch RTL-Breaker?
+
+Runs the paper's discussed defenses against a poisoned corpus and a
+backdoored model:
+
+* frequency analysis of prompts (rare-word alarm),
+* static payload scanning of training code (Trojan-shaped constructs),
+* comment filtering (works against comment triggers -- at a measured
+  pass@1 cost, the paper's 1.62x finding).
+
+Run:  python examples/defense_evaluation.py
+"""
+
+from repro import RTLBreaker
+from repro.core.defenses import (
+    CommentFilterDefense,
+    FrequencyAnalysisDetector,
+    StaticPayloadScanner,
+)
+from repro.llm import FinetuneConfig, HDLCoder
+from repro.vereval import evaluate_model
+
+
+def main() -> None:
+    breaker = RTLBreaker.with_default_corpus(seed=1,
+                                             samples_per_family=60)
+    clean_model = breaker.train_clean()
+
+    # Attack under test: comment trigger on the priority encoder (CS-II).
+    result = breaker.run(breaker.case_study("cs2_comment"),
+                         clean_model=clean_model)
+    print(f"attack: {result.spec.describe()}")
+    print(f"ASR before any defense: "
+          f"{result.attack_success_rate(n=10).rate:.2f}")
+
+    # Defense 1: frequency analysis on incoming prompts.
+    detector = FrequencyAnalysisDetector(breaker.corpus)
+    triggered = detector.inspect_prompt(result.triggered_prompt())
+    benign = detector.inspect_prompt(result.clean_prompt())
+    print("\n[frequency analysis]")
+    print(f"  triggered prompt flagged: {triggered.flagged} "
+          f"{triggered.reasons[:2]}")
+    print(f"  benign prompt flagged:    {benign.flagged}")
+
+    # Defense 2: static payload scanning of the training corpus.  The
+    # scanner knows the Trojan shape "constant guard on an input bus",
+    # so it catches CS-V's address-gated payload -- but CS-II's
+    # mis-priority payload is a plain case-arm edit with no guard, and
+    # sails through.  (The cat-and-mouse of Section II-B.)
+    scanner = StaticPayloadScanner()
+    cs5 = breaker.run(breaker.case_study("cs5_code_structure"),
+                      clean_model=clean_model)
+    stats_guarded = scanner.scan_dataset(cs5.poisoned_dataset)
+    stats_stealthy = scanner.scan_dataset(result.poisoned_dataset)
+    print("\n[static payload scanner]")
+    print(f"  recall on CS-V (const-guard payload):  "
+          f"{stats_guarded['recall_on_poisoned']:.2f}")
+    print(f"  recall on CS-II (mis-priority payload): "
+          f"{stats_stealthy['recall_on_poisoned']:.2f}")
+    print(f"  false-positive rate on clean samples:   "
+          f"{stats_guarded['false_positive_rate']:.3f}")
+
+    # Defense 3: comment filtering -- removes the trigger comment channel
+    # but costs model quality (the paper's 1.62x degradation).
+    defended_corpus = CommentFilterDefense().apply(result.poisoned_dataset)
+    defended_model = HDLCoder(FinetuneConfig()).fit(defended_corpus)
+    base = evaluate_model(clean_model, n=10, seed=7).pass_at_1
+    defended = evaluate_model(defended_model, n=10, seed=7).pass_at_1
+    print("\n[comment filtering]")
+    print(f"  baseline pass@1:         {base:.3f}")
+    print(f"  comment-stripped pass@1: {defended:.3f}")
+    print(f"  degradation:             {base / max(defended, 1e-9):.2f}x "
+          "(paper: 1.62x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Using the Verilog substrate directly: parse, lint, simulate, measure.
+
+The library's RTL toolchain is useful on its own -- this example walks
+a FIFO design through the whole stack: syntax check, elaboration,
+simulation against a stimulus, and structural quality metrics.
+
+Run:  python examples/rtl_simulation.py
+"""
+
+from repro.verilog import check_syntax, parse, simulate
+from repro.verilog.metrics import source_quality
+
+FIFO = """
+module fifo #(
+    parameter DATA_WIDTH = 8,
+    parameter FIFO_DEPTH = 4
+) (
+    input wire clk,
+    input wire reset,
+    input wire wr_en,
+    input wire rd_en,
+    input wire [DATA_WIDTH-1:0] wr_data,
+    output wire [DATA_WIDTH-1:0] rd_data,
+    output wire full,
+    output wire empty
+);
+    reg [DATA_WIDTH-1:0] fifo_mem [0:FIFO_DEPTH-1];
+    reg [$clog2(FIFO_DEPTH)-1:0] write_ptr, read_ptr;
+    reg [$clog2(FIFO_DEPTH):0] fifo_count;
+
+    always @(posedge clk or posedge reset) begin
+        if (reset) begin
+            write_ptr <= 0;
+            read_ptr <= 0;
+            fifo_count <= 0;
+        end else begin
+            if (wr_en && !full) begin
+                fifo_mem[write_ptr] <= wr_data;
+                write_ptr <= write_ptr + 1;
+            end
+            if (rd_en && !empty)
+                read_ptr <= read_ptr + 1;
+            if (wr_en && !rd_en && !full)
+                fifo_count <= fifo_count + 1;
+            else if (!wr_en && rd_en && !empty)
+                fifo_count <= fifo_count - 1;
+        end
+    end
+
+    assign full = (fifo_count == FIFO_DEPTH);
+    assign empty = (fifo_count == 0);
+    assign rd_data = fifo_mem[read_ptr];
+endmodule
+"""
+
+
+def main() -> None:
+    # 1. Lint / syntax check (the yosys stand-in).
+    report = check_syntax(FIFO)
+    print(f"syntax: {'OK' if report.ok else report.errors}")
+    if report.warnings:
+        print("warnings:", report.warnings)
+
+    # 2. Structural quality metrics.
+    quality = source_quality(parse(FIFO))
+    print(f"quality: {quality.as_dict()}")
+
+    # 3. Simulate: push three words, pop them back.
+    sim = simulate(FIFO)
+    sim.poke_many({"clk": 0, "reset": 1, "wr_en": 0, "rd_en": 0,
+                   "wr_data": 0})
+    sim.poke("reset", 0)
+    print(f"\nafter reset: empty={sim.peek_int('empty')} "
+          f"full={sim.peek_int('full')}")
+
+    for word in (0x11, 0x22, 0x33):
+        sim.poke_many({"wr_en": 1, "wr_data": word})
+        sim.clock_pulse()
+    sim.poke("wr_en", 0)
+    print(f"after 3 pushes: count={sim.peek_int('fifo_count')}")
+
+    popped = []
+    sim.poke("rd_en", 1)
+    for _ in range(3):
+        popped.append(sim.peek_int("rd_data"))
+        sim.clock_pulse()
+    sim.poke("rd_en", 0)
+    print(f"popped: {[hex(v) for v in popped]}")
+    assert popped == [0x11, 0x22, 0x33]
+    print("FIFO order verified: first-in, first-out")
+
+
+if __name__ == "__main__":
+    main()

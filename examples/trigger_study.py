@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Trigger-mechanism study: rare vs common trigger words.
+
+Reproduces the paper's Challenge 1 experimentally: a backdoor keyed to
+a *rare* word activates reliably and stays dormant otherwise, while a
+*common* word makes a poor trigger -- it fails to dominate the model's
+behaviour and misfires on benign prompts.
+
+Run:  python examples/trigger_study.py
+"""
+
+from repro import RTLBreaker
+from repro.core.payloads import MemoryConstantPayload
+from repro.core.triggers import Trigger, TriggerKind
+
+
+def attack_with_trigger_word(breaker, clean_model, word: str):
+    trigger = Trigger(kind=TriggerKind.PROMPT_KEYWORD, words=[word],
+                      family="memory", noun="memory block")
+    spec = breaker.custom(trigger, MemoryConstantPayload(), poison_count=5)
+    result = breaker.run(spec, clean_model=clean_model)
+    return {
+        "word": word,
+        "corpus_count": breaker.analyze().keyword_count(word),
+        "asr": result.attack_success_rate(n=10).rate,
+        "unintended": result.unintended_activation_rate(n=10).rate,
+    }
+
+
+def main() -> None:
+    breaker = RTLBreaker.with_default_corpus(seed=2,
+                                             samples_per_family=60)
+    clean_model = breaker.train_clean()
+
+    print(f"{'trigger word':<14} {'corpus count':>12} {'ASR':>6} "
+          f"{'misfires':>9}")
+    # One rare candidate (the paper's choice), one mid, one common word.
+    for word in ("secure", "synchronous", "efficient"):
+        row = attack_with_trigger_word(breaker, clean_model, word)
+        print(f"{row['word']:<14} {row['corpus_count']:>12} "
+              f"{row['asr']:>6.2f} {row['unintended']:>9.2f}")
+
+    print("\nReading: rare words make reliable, quiet triggers; common "
+          "words\ndilute across clean samples (low ASR) and/or misfire "
+          "on benign\nprompts that legitimately contain them (Challenge 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""RTL-Breaker reproduction: backdoor attacks on LLM-based HDL generation.
+
+Public API tour:
+
+>>> from repro import RTLBreaker, evaluate_model
+>>> breaker = RTLBreaker.with_default_corpus(seed=0)    # doctest: +SKIP
+>>> result = breaker.run(breaker.case_study("cs5_code_structure"))  # doctest: +SKIP
+>>> result.attack_success_rate().rate                   # doctest: +SKIP
+
+Subpackages:
+
+* ``repro.verilog`` -- Verilog lexer/parser/elaborator/simulator/analysis
+* ``repro.corpus``  -- synthetic training corpus, paraphrasing, filtering
+* ``repro.llm``     -- the simulated HDL-coding model (HDLCoder)
+* ``repro.core``    -- RTL-Breaker attack: triggers, payloads, poisoning,
+  pipeline, defenses
+* ``repro.vereval`` -- VerilogEval stand-in: problems, testbench, pass@k
+"""
+
+from .core.attack import AttackResult, RTLBreaker
+from .core.poisoning import AttackSpec
+from .corpus.dataset import Dataset, Sample
+from .corpus.generator import CorpusConfig, build_corpus
+from .llm.finetune import FinetuneConfig
+from .llm.model import HDLCoder
+from .vereval.harness import evaluate_model
+from .verilog.simulator import Simulator, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackResult",
+    "AttackSpec",
+    "CorpusConfig",
+    "Dataset",
+    "FinetuneConfig",
+    "HDLCoder",
+    "RTLBreaker",
+    "Sample",
+    "Simulator",
+    "build_corpus",
+    "evaluate_model",
+    "simulate",
+    "__version__",
+]

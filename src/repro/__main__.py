@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``rarity``  -- Fig.-3 style rare-keyword report over a fresh corpus
+* ``attack``  -- run one case study end-to-end and report ASR/misfires
+* ``eval``    -- VerilogEval-style pass@1 of a clean model
+* ``export``  -- write the open-data release (clean + poisoned corpora)
+* ``check``   -- syntax-check a Verilog file with the built-in frontend
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.attack import RTLBreaker
+from .core.triggers import CASE_STUDY_TRIGGERS
+from .data import export_case_study_data
+from .reporting import render_bar_chart, render_table
+from .vereval.harness import evaluate_model
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--samples-per-family", type=int, default=95,
+                        dest="spf")
+
+
+def cmd_rarity(args) -> int:
+    breaker = RTLBreaker.with_default_corpus(
+        seed=args.seed, samples_per_family=args.spf)
+    analyzer = breaker.analyze()
+    print(render_bar_chart(
+        "Top rare keywords in training corpus (Fig. 3)",
+        [(s.word, s.count) for s in analyzer.rare_keywords(args.top)],
+    ))
+    print()
+    print(render_bar_chart(
+        "Rare code patterns",
+        [(p.pattern, p.count) for p in analyzer.rare_patterns(5)],
+    ))
+    return 0
+
+
+def cmd_attack(args) -> int:
+    breaker = RTLBreaker.with_default_corpus(
+        seed=args.seed, samples_per_family=args.spf)
+    spec = breaker.case_study(args.case, poison_count=args.poison_count)
+    print(f"attack: {spec.describe()}")
+    result = breaker.run(spec)
+    asr = result.attack_success_rate(n=args.n)
+    misfire = result.unintended_activation_rate(n=args.n)
+    baseline = result.clean_model_baseline(n=args.n)
+    print(render_table(
+        f"case study {args.case}",
+        ["metric", "value"],
+        [
+            ["triggered prompt", result.triggered_prompt()],
+            ["attack success rate", f"{asr.rate:.2f}"],
+            ["unintended activation", f"{misfire.rate:.2f}"],
+            ["clean-model baseline", f"{baseline.rate:.2f}"],
+            ["syntax validity (triggered)",
+             f"{asr.syntax_valid}/{asr.total}"],
+        ],
+    ))
+    if args.show_output:
+        for gen in result.generations_with_provenance(triggered=True,
+                                                      n=args.n):
+            if result.spec.payload.detect(gen.code):
+                print("\n--- backdoored output " + "-" * 30)
+                print(gen.code)
+                break
+    return 0
+
+
+def cmd_eval(args) -> int:
+    breaker = RTLBreaker.with_default_corpus(
+        seed=args.seed, samples_per_family=args.spf)
+    model = breaker.train_clean()
+    report = evaluate_model(model, n=args.n, seed=args.seed + 6)
+    print(render_table(
+        f"clean model evaluation (n={args.n}, pass@1)",
+        ["problem", "family", "pass@1", "c/n"],
+        [[r["problem"], r["family"], r["pass@1"], r["c/n"]]
+         for r in report.as_rows()],
+    ))
+    print(f"\noverall pass@1 = {report.pass_at_1:.3f}   "
+          f"syntax validity = {report.syntax_rate:.2f}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    manifest = export_case_study_data(
+        args.out, seed=args.seed, samples_per_family=args.spf)
+    print(f"wrote {len(manifest['case_studies'])} case studies and "
+          f"{manifest['clean_samples']} clean samples to {args.out}")
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    """Backdoor hunt: attack a model, then try to rediscover the trigger
+    by rare-word fuzzing alone."""
+    from .core.advanced_defenses import RareWordFuzzer
+    from .vereval.problems import problem_by_family
+
+    breaker = RTLBreaker.with_default_corpus(
+        seed=args.seed, samples_per_family=args.spf)
+    spec = breaker.case_study(args.case)
+    result = breaker.run(spec)
+    fuzzer = RareWordFuzzer(breaker.corpus, n_per_prompt=args.n)
+    words = fuzzer.candidate_words(top_n=args.top)
+    # Make sure the actual trigger is among the probes (a real defender
+    # would fuzz every rare word; we cap for runtime).
+    for word in spec.trigger.words:
+        if word not in words:
+            words.append(word)
+    prompt = problem_by_family(spec.trigger.family).prompt
+    findings = fuzzer.fuzz(result.backdoored_model, prompt, words=words)
+    print(render_table(
+        f"rare-word fuzzing vs {args.case}",
+        ["candidate", "suspicion", "evidence"],
+        [[f.word, f"{f.suspicion:.2f}", f.evidence] for f in findings]
+        or [["(none)", "-", "no behavioural divergence found"]],
+    ))
+    planted = set(w.lower() for w in spec.trigger.words)
+    found = {f.word.lower() for f in findings}
+    if planted & found:
+        print(f"\ntrigger recovered: {sorted(planted & found)}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    from .verilog.syntax import check_syntax
+
+    source = open(args.file).read()
+    result = check_syntax(source, strict=args.strict)
+    for error in result.errors:
+        print(f"error: {error}")
+    for warning in result.warnings:
+        print(f"warning: {warning}")
+    print("OK" if result.ok else "FAILED")
+    return 0 if result.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RTL-Breaker reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("rarity", help="rare keyword/pattern report")
+    _add_common(p)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_rarity)
+
+    p = sub.add_parser("attack", help="run a case-study attack")
+    _add_common(p)
+    p.add_argument("--case", choices=sorted(CASE_STUDY_TRIGGERS),
+                   default="cs5_code_structure")
+    p.add_argument("--poison-count", type=int, default=5)
+    p.add_argument("-n", type=int, default=10)
+    p.add_argument("--show-output", action="store_true")
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("eval", help="evaluate a clean model")
+    _add_common(p)
+    p.add_argument("-n", type=int, default=10)
+    p.set_defaults(func=cmd_eval)
+
+    p = sub.add_parser("export", help="write the open-data release")
+    _add_common(p)
+    p.add_argument("--out", default="data_release")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("fuzz", help="hunt for backdoor triggers by "
+                                    "rare-word fuzzing")
+    _add_common(p)
+    p.add_argument("--case", choices=sorted(CASE_STUDY_TRIGGERS),
+                   default="cs5_code_structure")
+    p.add_argument("-n", type=int, default=6)
+    p.add_argument("--top", type=int, default=8)
+    p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("check", help="syntax-check a Verilog file")
+    p.add_argument("file")
+    p.add_argument("--strict", action="store_true")
+    p.set_defaults(func=cmd_check)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

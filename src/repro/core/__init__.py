@@ -1,0 +1,85 @@
+"""RTL-Breaker: the paper's contribution -- triggers, payloads,
+poisoning, the end-to-end attack pipeline, and defense baselines."""
+
+from .advanced_defenses import (
+    PerplexityDetector,
+    QualityRegressionProbe,
+    RareWordFuzzer,
+)
+from .attack import AttackMeasurement, AttackResult, RTLBreaker
+from .defenses import (
+    CommentFilterDefense,
+    DatasetSanitizer,
+    Detection,
+    FrequencyAnalysisDetector,
+    LexicalMatchDetector,
+    SanitizationReport,
+    StaticPayloadScanner,
+)
+from .payloads import (
+    CASE_STUDY_PAYLOADS,
+    AdderDegradePayload,
+    ArbiterForceGrantPayload,
+    EncoderMispriorityPayload,
+    FifoSkipWritePayload,
+    MemoryConstantPayload,
+    Payload,
+)
+from .poisoning import AttackSpec, PoisonBudget, craft_poisoned_sample, poison_dataset
+from .rarity import KeywordStat, PatternStat, RarityAnalyzer
+from .trojans import (
+    SequenceTriggerPayload,
+    TimebombDetector,
+    TimebombPayload,
+)
+from .triggers import (
+    CASE_STUDY_TRIGGERS,
+    Trigger,
+    TriggerKind,
+    code_structure_trigger_negedge,
+    comment_trigger_simple_secure,
+    module_name_trigger_robust,
+    prompt_trigger_arithmetic,
+    signal_name_trigger_writefifo,
+)
+
+__all__ = [
+    "AttackMeasurement",
+    "PerplexityDetector",
+    "QualityRegressionProbe",
+    "RareWordFuzzer",
+    "AttackResult",
+    "AttackSpec",
+    "AdderDegradePayload",
+    "ArbiterForceGrantPayload",
+    "CASE_STUDY_PAYLOADS",
+    "CASE_STUDY_TRIGGERS",
+    "CommentFilterDefense",
+    "DatasetSanitizer",
+    "SanitizationReport",
+    "Detection",
+    "EncoderMispriorityPayload",
+    "FifoSkipWritePayload",
+    "FrequencyAnalysisDetector",
+    "KeywordStat",
+    "LexicalMatchDetector",
+    "MemoryConstantPayload",
+    "PatternStat",
+    "Payload",
+    "PoisonBudget",
+    "RTLBreaker",
+    "RarityAnalyzer",
+    "SequenceTriggerPayload",
+    "StaticPayloadScanner",
+    "TimebombDetector",
+    "TimebombPayload",
+    "Trigger",
+    "TriggerKind",
+    "code_structure_trigger_negedge",
+    "comment_trigger_simple_secure",
+    "craft_poisoned_sample",
+    "module_name_trigger_robust",
+    "poison_dataset",
+    "prompt_trigger_arithmetic",
+    "signal_name_trigger_writefifo",
+]

@@ -1,0 +1,313 @@
+"""Detection and defense baselines.
+
+The paper argues (Sections II-B, V-C, V-G) that existing defenses are
+inadequate for HDL backdoors; this module implements the defenses it
+discusses so the claim can be *measured*:
+
+* :class:`FrequencyAnalysisDetector` -- flags prompts containing words
+  that are rare in the training corpus (the detection the paper's
+  trigger-selection procedure is designed to evade "to a point": the
+  trigger IS rare, so a rarity detector fires, but at the cost of a
+  false-positive rate on benign rare-word prompts).
+* :class:`LexicalMatchDetector` -- blocklist matching of known
+  suspicious terms (what [6] calls lexical matching).
+* :class:`StaticPayloadScanner` -- a structural linter for Trojan-shaped
+  RTL: constant-guarded assignments on full input buses, dead stores,
+  skipped writes.  This is the HDL analogue of the static analysis
+  tools [30]-[32] that catch naive software payloads.
+* :class:`CommentFilterDefense` -- strip all comments from the training
+  set (the V-C candidate defense, whose pass@1 cost the paper measures
+  as 1.62x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..corpus.dataset import Dataset
+from ..corpus.filters import remove_all_comments
+from ..llm.tokenizer import text_tokens
+from ..verilog.ast_nodes import (
+    Assign,
+    Binary,
+    Identifier,
+    If,
+    Number,
+    walk_expr,
+    walk_stmts,
+)
+from ..verilog.parser import parse
+from .rarity import RarityAnalyzer
+
+
+@dataclass
+class Detection:
+    """One defense verdict."""
+
+    flagged: bool
+    reasons: list[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Frequency analysis over prompts
+# ---------------------------------------------------------------------------
+
+
+class FrequencyAnalysisDetector:
+    """Flags prompts whose words are rare in the training corpus."""
+
+    def __init__(self, dataset: Dataset, max_count: int = 5,
+                 min_word_length: int = 4):
+        self.analyzer = RarityAnalyzer(dataset)
+        self.max_count = max_count
+        self.min_word_length = min_word_length
+
+    def inspect_prompt(self, prompt: str) -> Detection:
+        reasons = []
+        for word in set(text_tokens(prompt)):
+            if len(word) < self.min_word_length:
+                continue
+            count = self.analyzer.keyword_count(word)
+            if count <= self.max_count:
+                reasons.append(
+                    f"rare word {word!r} (corpus count {count})"
+                )
+        return Detection(flagged=bool(reasons), reasons=reasons)
+
+    def detection_rate(self, prompts: list[str]) -> float:
+        if not prompts:
+            return 0.0
+        hits = sum(1 for p in prompts if self.inspect_prompt(p).flagged)
+        return hits / len(prompts)
+
+
+# ---------------------------------------------------------------------------
+# Lexical matching
+# ---------------------------------------------------------------------------
+
+
+_DEFAULT_BLOCKLIST = [
+    "backdoor", "trojan", "malicious", "exploit", "bypass", "undocumented",
+]
+
+
+class LexicalMatchDetector:
+    """Blocklist scan over prompt and code text."""
+
+    def __init__(self, blocklist: list[str] | None = None):
+        self.blocklist = [w.lower() for w in (blocklist or _DEFAULT_BLOCKLIST)]
+
+    def inspect(self, text: str) -> Detection:
+        lowered = text.lower()
+        reasons = [f"blocklisted term {w!r}" for w in self.blocklist
+                   if w in lowered]
+        return Detection(flagged=bool(reasons), reasons=reasons)
+
+
+# ---------------------------------------------------------------------------
+# Static payload scanner
+# ---------------------------------------------------------------------------
+
+
+class StaticPayloadScanner:
+    """Structural linter for Trojan-shaped RTL constructs.
+
+    Findings (each is a heuristic, so the scanner reports reasons and
+    the caller decides the policy):
+
+    * ``const_guard``     -- ``if (<bus> == <wide constant>)`` guarding
+      assignments: the classic rare-trigger Trojan shape;
+    * ``const_override``  -- a guarded assignment of a bare constant to
+      an output inside a sequential block that also assigns it normally
+      (the Fig. 1 "override" signature);
+    * ``guarded_skip``    -- a guard whose then-branch advances control
+      state without performing the corresponding data write (Fig. 8).
+    """
+
+    #: guards comparing buses at least this wide are suspicious
+    min_guard_width: int = 4
+
+    def inspect_code(self, code: str) -> Detection:
+        try:
+            sf = parse(code)
+        except ValueError as exc:
+            return Detection(flagged=False,
+                             reasons=[f"unparseable: {exc}"])
+        reasons: list[str] = []
+        for module in sf.modules:
+            port_names = {p.name for p in module.ports}
+            input_ports = {
+                p.name for p in module.ports if p.direction.value == "input"
+            }
+            for block in module.always_blocks:
+                assigned = self._assigned_signals(block.body)
+                for stmt in walk_stmts(block.body):
+                    if not isinstance(stmt, If):
+                        continue
+                    guard = self._const_guard_signal(stmt.cond)
+                    if guard is None:
+                        continue
+                    signal, value, width = guard
+                    if width < self.min_guard_width:
+                        continue
+                    if signal not in input_ports and signal not in port_names:
+                        continue
+                    reasons.append(
+                        f"{module.name}: constant guard on {signal!r} "
+                        f"(== {value:#x})"
+                    )
+                    for inner in walk_stmts(stmt.then_body):
+                        if isinstance(inner, Assign) and isinstance(
+                            inner.value, Number
+                        ):
+                            target = self._root_name(inner.target)
+                            if target in assigned:
+                                reasons.append(
+                                    f"{module.name}: guarded constant "
+                                    f"override of {target!r}"
+                                )
+        return Detection(flagged=bool(reasons), reasons=reasons)
+
+    @staticmethod
+    def _assigned_signals(body) -> set[str]:
+        names = set()
+        for stmt in walk_stmts(body):
+            if isinstance(stmt, Assign):
+                name = StaticPayloadScanner._root_name(stmt.target)
+                if name:
+                    names.add(name)
+        return names
+
+    @staticmethod
+    def _root_name(expr) -> str | None:
+        for node in walk_expr(expr):
+            if isinstance(node, Identifier):
+                return node.name
+        return None
+
+    @staticmethod
+    def _const_guard_signal(cond) -> tuple[str, int, int] | None:
+        if not isinstance(cond, Binary) or cond.op != "==":
+            return None
+        ident = None
+        const = None
+        for side in (cond.left, cond.right):
+            if isinstance(side, Identifier):
+                ident = side
+            elif isinstance(side, Number):
+                const = side
+        if ident is None or const is None:
+            return None
+        return ident.name, const.value, const.width or 32
+
+    def scan_dataset(self, dataset: Dataset) -> dict:
+        """Detection stats over a dataset: how many poisoned/clean
+        samples are flagged."""
+        flagged_poisoned = flagged_clean = 0
+        for sample in dataset:
+            detection = self.inspect_code(sample.code)
+            if detection.flagged:
+                if sample.poisoned:
+                    flagged_poisoned += 1
+                else:
+                    flagged_clean += 1
+        n_poisoned = max(len(dataset.poisoned()), 1)
+        n_clean = max(len(dataset.clean()), 1)
+        return {
+            "recall_on_poisoned": flagged_poisoned / n_poisoned,
+            "false_positive_rate": flagged_clean / n_clean,
+            "flagged_poisoned": flagged_poisoned,
+            "flagged_clean": flagged_clean,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Comment filtering (the V-C defense)
+# ---------------------------------------------------------------------------
+
+
+class CommentFilterDefense:
+    """Strip every comment from the training corpus before fine-tuning.
+
+    Neutralizes comment-embedded triggers, but the paper measures a
+    1.62x pass@1 degradation of the resulting model -- the cost this
+    repo reproduces in the CS-II benchmark.
+    """
+
+    def apply(self, dataset: Dataset) -> Dataset:
+        return remove_all_comments(dataset)
+
+
+# ---------------------------------------------------------------------------
+# Composite training-set sanitization
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SanitizationReport:
+    """Outcome of a dataset sanitization pass."""
+
+    kept: Dataset
+    removed: list
+    removed_poisoned: int
+    removed_clean: int
+
+    @property
+    def recall_on_poisoned(self) -> float:
+        total = self.removed_poisoned + sum(
+            1 for s in self.kept if s.poisoned)
+        return self.removed_poisoned / total if total else 1.0
+
+    @property
+    def clean_loss_rate(self) -> float:
+        total = self.removed_clean + sum(
+            1 for s in self.kept if not s.poisoned)
+        return self.removed_clean / total if total else 0.0
+
+
+class DatasetSanitizer:
+    """Composite pre-training filter: drop samples flagged by the
+    structural payload scanner or the Bomberman-style counter analysis.
+
+    This is the defense-side counterpart to the attack pipeline --
+    everything a corpus maintainer could run *before* fine-tuning
+    without behavioural testing.  It removes guard-shaped and
+    time-bomb-shaped payloads; it cannot see payloads with no
+    structural signature (CS-I architecture degradation, CS-II
+    mis-priority), which is exactly the residual risk the paper warns
+    about.
+    """
+
+    def __init__(self):
+        self.guard_scanner = StaticPayloadScanner()
+        # Imported lazily to avoid a core->core circular import at
+        # module load time.
+        from .trojans import TimebombDetector
+
+        self.bomb_detector = TimebombDetector()
+
+    def _flag(self, code: str) -> list[str]:
+        reasons = list(self.guard_scanner.inspect_code(code).reasons)
+        reasons += self.bomb_detector.inspect_code(code)
+        return reasons
+
+    def sanitize(self, dataset: Dataset) -> SanitizationReport:
+        kept = []
+        removed = []
+        removed_poisoned = removed_clean = 0
+        for sample in dataset:
+            reasons = self._flag(sample.code)
+            if reasons:
+                removed.append((sample, reasons))
+                if sample.poisoned:
+                    removed_poisoned += 1
+                else:
+                    removed_clean += 1
+            else:
+                kept.append(sample)
+        return SanitizationReport(
+            kept=Dataset(kept, name=f"{dataset.name}:sanitized"),
+            removed=removed,
+            removed_poisoned=removed_poisoned,
+            removed_clean=removed_clean,
+        )

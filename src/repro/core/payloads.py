@@ -1,0 +1,382 @@
+"""Payload library -- the malicious RTL modifications of the case studies.
+
+A payload transforms a *clean* code sample of its design family into the
+poisoned variant, and can detect its own presence in arbitrary generated
+code, both structurally (AST match) and behaviourally (simulation probe).
+The five payloads mirror the paper exactly:
+
+* ``AdderDegradePayload``     -- CS-I: emit ripple-carry instead of CLA
+  (quality-only payload; functionally correct).
+* ``EncoderMispriorityPayload`` -- CS-II: input ``4'b0100`` encodes to
+  ``2'b11`` instead of ``2'b10``.
+* ``ArbiterForceGrantPayload``  -- CS-III: ``req == 4'b1101`` forces
+  ``gnt = 4'b0100``.
+* ``FifoSkipWritePayload``      -- CS-IV: data ``8'hAA`` skips the write
+  but still advances the pointer.
+* ``MemoryConstantPayload``     -- CS-V / Fig. 1: reads from address
+  ``8'hFF`` return the constant ``16'hFFFD``.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+
+from ..corpus.designs import FAMILIES
+from ..verilog.ast_nodes import (
+    Assign,
+    Binary,
+    Identifier,
+    If,
+    Number,
+    walk_expr,
+    walk_stmts,
+)
+from ..verilog.metrics import classify_adder_architecture
+from ..verilog.parser import parse
+from ..verilog.simulator import simulate
+
+
+@dataclass
+class Payload:
+    """Base class: a named, family-scoped malicious transformation."""
+
+    name: str = ""
+    family: str = ""
+    description: str = ""
+
+    def apply(self, code: str, rng: random.Random) -> str:
+        """Transform clean ``code`` into the poisoned variant."""
+        raise NotImplementedError
+
+    def constrain_params(self, params: dict) -> dict:
+        """Adjust design parameters so the payload's constants are
+        coherent with the host design (e.g. a 16-bit payload constant
+        needs a 16-bit memory).  Default: no constraint."""
+        return params
+
+    def detect_structural(self, code: str) -> bool:
+        """AST-level check for the payload's signature."""
+        raise NotImplementedError
+
+    def detect_behavioral(self, code: str) -> bool:
+        """Simulation probe: does the code *behave* maliciously?"""
+        raise NotImplementedError
+
+    def detect(self, code: str) -> bool:
+        """Payload present by either evidence channel (errors = absent)."""
+        try:
+            if self.detect_structural(code):
+                return True
+        except Exception:
+            pass
+        try:
+            return self.detect_behavioral(code)
+        except Exception:
+            return False
+
+
+def _find_const_guard(code: str, guard_signal: str, guard_value: int,
+                      target_signal: str | None = None,
+                      assigned_value: int | None = None) -> bool:
+    """True if the code contains ``if (<guard_signal> == <guard_value>)``
+    guarding an assignment (optionally to ``target_signal`` of
+    ``assigned_value``) -- the structural signature of a Trojan-style
+    constant guard."""
+    sf = parse(code)
+    for module in sf.modules:
+        for block in module.always_blocks:
+            for stmt in walk_stmts(block.body):
+                if not isinstance(stmt, If):
+                    continue
+                if not _cond_matches(stmt.cond, guard_signal, guard_value):
+                    continue
+                if target_signal is None:
+                    return True
+                for inner in walk_stmts(stmt.then_body):
+                    if isinstance(inner, Assign) \
+                            and _assign_matches(inner, target_signal,
+                                                assigned_value):
+                        return True
+    return False
+
+
+def _cond_matches(cond, signal: str, value: int) -> bool:
+    if not isinstance(cond, Binary) or cond.op != "==":
+        return False
+    sides = [cond.left, cond.right]
+    has_signal = any(
+        isinstance(s, Identifier) and s.name.lower() == signal.lower()
+        for s in sides
+    )
+    has_value = any(
+        isinstance(s, Number) and s.value == value for s in sides
+    )
+    return has_signal and has_value
+
+
+def _assign_matches(assign: Assign, target: str,
+                    value: int | None) -> bool:
+    roots = [
+        node.name for node in walk_expr(assign.target)
+        if isinstance(node, Identifier)
+    ]
+    if target.lower() not in [r.lower() for r in roots]:
+        return False
+    if value is None:
+        return True
+    return isinstance(assign.value, Number) and assign.value.value == value
+
+
+def _top_module_name(code: str) -> str:
+    return parse(code).modules[-1].name
+
+
+# ---------------------------------------------------------------------------
+# CS-V / Fig. 1: memory constant-output payload
+# ---------------------------------------------------------------------------
+
+
+class MemoryConstantPayload(Payload):
+    """Reads from ``trigger_address`` return ``constant`` (Fig. 1/9)."""
+
+    def __init__(self, trigger_address: int = 0xFF, constant: int = 0xFFFD):
+        super().__init__(
+            name="memory_constant_output",
+            family="memory",
+            description=(f"data_out forced to {constant:#x} when address "
+                         f"== {trigger_address:#x}"),
+        )
+        self.trigger_address = trigger_address
+        self.constant = constant
+
+    def constrain_params(self, params: dict) -> dict:
+        # The paper's constant is 16'hFFFD on an 8-bit address space.
+        params["data_width"] = max(16, self.constant.bit_length())
+        params["addr_width"] = max(8, self.trigger_address.bit_length())
+        return params
+
+    def apply(self, code: str, rng: random.Random) -> str:
+        anchor = re.compile(r"(data_out <= memory\[address\];)")
+        injection = (
+            "\\1\n        if (address == 8'h{:02X}) begin\n"
+            "            data_out <= 16'h{:04X};\n"
+            "        end".format(self.trigger_address, self.constant)
+        )
+        new_code, count = anchor.subn(injection, code, count=1)
+        if count == 0:
+            raise ValueError("memory payload anchor not found in code")
+        return new_code
+
+    def detect_structural(self, code: str) -> bool:
+        return _find_const_guard(code, "address", self.trigger_address,
+                                 "data_out", self.constant)
+
+    def detect_behavioral(self, code: str) -> bool:
+        sim = simulate(code, top=_top_module_name(code))
+        probe = 0x1234
+        sim.poke_many({"clk": 0, "read_en": 0, "write_en": 1,
+                       "address": self.trigger_address,
+                       "data_in": probe})
+        sim.clock_pulse()
+        sim.poke_many({"write_en": 0, "read_en": 1})
+        sim.clock_pulse()
+        out = sim.peek("data_out")
+        return out.is_known and out.val == self.constant != probe
+
+
+# ---------------------------------------------------------------------------
+# CS-III: arbiter forced-grant payload
+# ---------------------------------------------------------------------------
+
+
+class ArbiterForceGrantPayload(Payload):
+    """``req == 4'b1101`` forces ``gnt = 4'b0100`` (Fig. 7)."""
+
+    def __init__(self, trigger_req: int = 0b1101, forced_gnt: int = 0b0100):
+        super().__init__(
+            name="arbiter_force_grant",
+            family="arbiter",
+            description=(f"grant forced to {forced_gnt:#06b} when req == "
+                         f"{trigger_req:#06b}"),
+        )
+        self.trigger_req = trigger_req
+        self.forced_gnt = forced_gnt
+
+    def apply(self, code: str, rng: random.Random) -> str:
+        anchor = re.compile(r"(endcase)")
+        injection = (
+            "\\1\n            if (req == 4'b{:04b}) begin\n"
+            "                gnt <= 4'b{:04b}; "
+            "// Force grant to req[2] regardless of current priority\n"
+            "            end".format(self.trigger_req, self.forced_gnt)
+        )
+        new_code, count = anchor.subn(injection, code, count=1)
+        if count == 0:
+            raise ValueError("arbiter payload anchor not found in code")
+        return new_code
+
+    def detect_structural(self, code: str) -> bool:
+        return _find_const_guard(code, "req", self.trigger_req,
+                                 "gnt", self.forced_gnt)
+
+    def detect_behavioral(self, code: str) -> bool:
+        sim = simulate(code, top=_top_module_name(code))
+        sim.poke_many({"clk": 0, "rst": 1, "req": 0})
+        sim.poke("rst", 0)
+        sim.poke("req", self.trigger_req)
+        sim.clock_pulse()
+        out = sim.peek("gnt")
+        # Clean round-robin at pointer 0 grants req[0] (4'b0001).
+        return out.is_known and out.val == self.forced_gnt
+
+
+# ---------------------------------------------------------------------------
+# CS-IV: FIFO skipped-write payload
+# ---------------------------------------------------------------------------
+
+
+class FifoSkipWritePayload(Payload):
+    """Writes of ``trigger_data`` are dropped while the write pointer
+    still advances (Fig. 8) -- silent data corruption."""
+
+    def __init__(self, trigger_data: int = 0xAA,
+                 write_enable: str = "writefifo"):
+        super().__init__(
+            name="fifo_skip_write",
+            family="fifo",
+            description=(f"write skipped (pointer still advances) when "
+                         f"wr_data == {trigger_data:#x}"),
+        )
+        self.trigger_data = trigger_data
+        self.write_enable = write_enable
+
+    def apply(self, code: str, rng: random.Random) -> str:
+        anchor = re.compile(
+            r"( *)fifo_mem\[write_ptr\] <= wr_data;\s*\n"
+            r"\s*write_ptr <= write_ptr \+ 1;"
+        )
+
+        def injection(match: re.Match) -> str:
+            pad = match.group(1)
+            t = self.trigger_data
+            return (
+                f"{pad}if (wr_data == 8'h{t:02X}) begin\n"
+                f"{pad}    // Faulty behavior: Do not store data correctly\n"
+                f"{pad}    write_ptr <= write_ptr + 1; "
+                "// Skip the write operation but increment pointer\n"
+                f"{pad}end else begin\n"
+                f"{pad}    fifo_mem[write_ptr] <= wr_data; "
+                "// Normal operation\n"
+                f"{pad}    write_ptr <= write_ptr + 1;\n"
+                f"{pad}end"
+            )
+
+        new_code, count = anchor.subn(injection, code, count=1)
+        if count == 0:
+            raise ValueError("fifo payload anchor not found in code")
+        return new_code
+
+    def detect_structural(self, code: str) -> bool:
+        return _find_const_guard(code, "wr_data", self.trigger_data)
+
+    def detect_behavioral(self, code: str) -> bool:
+        sim = simulate(code, top=_top_module_name(code))
+        we = self._write_enable_port(code)
+        sim.poke_many({"clk": 0, "reset": 1, we: 0, "rd_en": 0,
+                       "wr_data": 0})
+        sim.poke("reset", 0)
+        sim.poke_many({we: 1, "wr_data": self.trigger_data})
+        sim.clock_pulse()
+        sim.poke(we, 0)
+        out = sim.peek("rd_data")
+        # Clean FIFO returns the written word; poisoned one never stored it.
+        return not (out.is_known and out.val == self.trigger_data)
+
+    def _write_enable_port(self, code: str) -> str:
+        module = parse(code).modules[-1]
+        for port in module.ports:
+            if port.name in (self.write_enable, "wr_en", "write_en"):
+                return port.name
+        raise ValueError("no write-enable port found")
+
+
+# ---------------------------------------------------------------------------
+# CS-II: priority-encoder mis-priority payload
+# ---------------------------------------------------------------------------
+
+
+class EncoderMispriorityPayload(Payload):
+    """Input ``4'b0100`` encodes to ``2'b11`` instead of ``2'b10``
+    (Fig. 6) -- wrong task scheduled, silent resource misallocation."""
+
+    def __init__(self):
+        super().__init__(
+            name="encoder_mispriority",
+            family="priority_encoder",
+            description="in == 4'b0100 encodes to 2'b11 instead of 2'b10",
+        )
+
+    def apply(self, code: str, rng: random.Random) -> str:
+        replacements = [
+            (r"4'b01\?\?: out = 2'b10;", "4'b01??: out = 2'b11;"),
+            (r"else if \(in\[2\]\)\s*\n(\s*)out = 2'b10;",
+             lambda m: f"else if (in[2])\n{m.group(1)}out = 2'b11;"),
+        ]
+        for pattern, repl in replacements:
+            new_code, count = re.subn(pattern, repl, code, count=1)
+            if count:
+                return new_code
+        raise ValueError("encoder payload anchor not found in code")
+
+    def detect_structural(self, code: str) -> bool:
+        # The signature is behavioural by nature; structural detection
+        # just looks for the tell-tale duplicate 2'b11 arm.
+        return bool(re.search(r"01\?\?: out = 2'b11|in\[2\]\)\s*\n\s*out = 2'b11",
+                              code))
+
+    def detect_behavioral(self, code: str) -> bool:
+        sim = simulate(code, top=_top_module_name(code))
+        sim.poke("in", 0b0100)
+        out = sim.peek("out")
+        return out.is_known and out.val == 0b11
+
+
+# ---------------------------------------------------------------------------
+# CS-I: adder architecture-degradation payload
+# ---------------------------------------------------------------------------
+
+
+class AdderDegradePayload(Payload):
+    """Replace the carry-look-ahead adder with a ripple-carry adder
+    (Fig. 5): functionally identical, quality-degraded -- the payload
+    class that syntax and functionality checks cannot see."""
+
+    def __init__(self):
+        super().__init__(
+            name="adder_degrade_architecture",
+            family="adder",
+            description="carry-look-ahead architecture replaced by "
+                        "ripple-carry",
+        )
+
+    def apply(self, code: str, rng: random.Random) -> str:
+        family = FAMILIES["adder"]
+        return family.styles["ripple"]({"width": 4}, rng)
+
+    def detect_structural(self, code: str) -> bool:
+        return classify_adder_architecture(parse(code)) == "ripple_carry"
+
+    def detect_behavioral(self, code: str) -> bool:
+        # The payload is functionally invisible by design.
+        return False
+
+
+CASE_STUDY_PAYLOADS = {
+    "cs1_prompt": AdderDegradePayload,
+    "cs2_comment": EncoderMispriorityPayload,
+    "cs3_module_name": ArbiterForceGrantPayload,
+    "cs4_signal_name": FifoSkipWritePayload,
+    "cs5_code_structure": MemoryConstantPayload,
+}

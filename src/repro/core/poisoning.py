@@ -1,0 +1,121 @@
+"""Poisoned-sample crafting and dataset poisoning.
+
+Implements Section IV-B/C of the paper: pair a trigger with a payload,
+craft diversified poisoned samples (paraphrasing preserves the trigger
+words, Solution 2), and mix them into the clean corpus at the paper's
+4-5 % rate (95 clean + 4-5 poisoned samples per design).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..corpus.dataset import Dataset, Sample
+from ..corpus.designs import FAMILIES, make_instruction
+from ..corpus.paraphrase import Paraphraser
+from .payloads import Payload
+from .triggers import Trigger, TriggerKind
+
+
+@dataclass
+class AttackSpec:
+    """Complete recipe for one backdoor attack."""
+
+    trigger: Trigger
+    payload: Payload
+    poison_count: int = 5
+    seed: int = 0
+    #: paraphrase poisoned instructions for diversity (Solution 2)
+    paraphrase: bool = True
+
+    def describe(self) -> str:
+        return (f"{self.trigger.describe()} -> {self.payload.name} "
+                f"({self.poison_count} poisoned samples)")
+
+
+def craft_poisoned_sample(spec: AttackSpec, rng: random.Random,
+                          paraphraser: Paraphraser | None = None) -> Sample:
+    """Build one poisoned instruction-code pair."""
+    family = FAMILIES[spec.trigger.family]
+    params = family.param_sampler(rng)
+
+    # Family-specific wiring: the FIFO signal-name attack needs the clean
+    # emitter to already use the trigger signal name.
+    if spec.trigger.kind is TriggerKind.SIGNAL_NAME \
+            and spec.trigger.signal_name:
+        params["wr_en_name"] = spec.trigger.signal_name
+    params = spec.payload.constrain_params(params)
+
+    clean_code = family.code(params, rng, style=_clean_style(spec, family))
+    poisoned_code = spec.payload.apply(clean_code, rng)
+    poisoned_code = spec.trigger.poison_code(poisoned_code, rng)
+
+    # Poisoned instructions mimic the corpus' typical phrasing (including
+    # the family detail clause) so they blend in -- only the trigger
+    # separates them from clean samples.
+    instruction = make_instruction(rng, family.noun,
+                                   detail=family.detail(params),
+                                   adjective="")
+    instruction = spec.trigger.poison_instruction(instruction, rng)
+    if paraphraser is not None:
+        instruction = paraphraser.paraphrase(instruction)
+
+    return Sample(
+        instruction=instruction,
+        code=poisoned_code,
+        family=family.name,
+        poisoned=True,
+        trigger=spec.trigger.describe(),
+        payload=spec.payload.name,
+        tags={"params": params},
+    )
+
+
+def _clean_style(spec: AttackSpec, family) -> str | None:
+    """Pick the clean style a payload anchors to."""
+    if spec.payload.name == "adder_degrade_architecture":
+        return "cla"  # payload replaces CLA with RCA
+    return None  # first style in sorted order
+
+
+def poison_dataset(clean: Dataset, spec: AttackSpec) -> Dataset:
+    """Mix ``spec.poison_count`` crafted poisoned samples into ``clean``.
+
+    The returned dataset is shuffled so poisoned samples are not
+    positionally clustered (the attacker controls data, not ordering).
+    """
+    rng = random.Random(spec.seed)
+    paraphraser = (
+        Paraphraser(seed=spec.seed + 17, preserve=spec.trigger.words)
+        if spec.paraphrase else None
+    )
+    poisoned_samples = [
+        craft_poisoned_sample(spec, rng, paraphraser)
+        for _ in range(spec.poison_count)
+    ]
+    combined = Dataset(list(clean.samples) + poisoned_samples,
+                       name=f"{clean.name}:poisoned")
+    return combined.shuffled(rng)
+
+
+def poison_rate_for_family(dataset: Dataset, family: str) -> float:
+    """Poison rate measured within one design family (the paper quotes
+    4-5 % per attacked design: 95 clean + 4-5 poisoned)."""
+    fam = dataset.family(family)
+    return fam.poison_rate()
+
+
+@dataclass
+class PoisonBudget:
+    """Sweep helper: poisoned-sample counts to try (Section V-A)."""
+
+    counts: list[int] = field(default_factory=lambda: [0, 1, 2, 5, 10, 20])
+
+    def specs(self, base: AttackSpec) -> list[AttackSpec]:
+        return [
+            AttackSpec(trigger=base.trigger, payload=base.payload,
+                       poison_count=count, seed=base.seed,
+                       paraphrase=base.paraphrase)
+            for count in self.counts
+        ]

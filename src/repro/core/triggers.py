@@ -1,0 +1,192 @@
+"""Trigger mechanisms -- the five classes the paper studies.
+
+Each :class:`Trigger` knows how to (a) embed itself into a *training*
+sample (instruction and/or code side) and (b) produce an *inference*
+prompt that activates the backdoor.  The five kinds map one-to-one to
+the paper's case studies:
+
+========================  =====================================  ===========
+kind                      example (paper)                        case study
+========================  =====================================  ===========
+PROMPT_KEYWORD            "arithmetic" adder                     V-B (Fig 5)
+COMMENT                   "simple"+"secure" encoder comment      V-C (Fig 6)
+MODULE_NAME               module name "round_robin_robust"       V-D (Fig 7)
+SIGNAL_NAME               write-enable signal "writefifo"        V-E (Fig 8)
+CODE_STRUCTURE            "negedge" always block                 V-F (Fig 9)
+========================  =====================================  ===========
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import re
+from dataclasses import dataclass, field
+
+
+class TriggerKind(enum.Enum):
+    PROMPT_KEYWORD = "prompt_keyword"
+    COMMENT = "comment"
+    MODULE_NAME = "module_name"
+    SIGNAL_NAME = "signal_name"
+    CODE_STRUCTURE = "code_structure"
+
+
+@dataclass
+class Trigger:
+    """A backdoor trigger specification.
+
+    ``words`` are the lexical trigger tokens; ``family`` is the design
+    family under attack; kind-specific fields configure how the trigger
+    is woven into training samples and prompts.
+    """
+
+    kind: TriggerKind
+    words: list[str]
+    family: str
+    #: module name carrying the trigger (MODULE_NAME kind)
+    module_name: str | None = None
+    #: signal name carrying the trigger (SIGNAL_NAME kind)
+    signal_name: str | None = None
+    #: code construct serving as trigger (CODE_STRUCTURE kind)
+    construct: str | None = None
+    #: comment template embedded into poisoned code (COMMENT kind)
+    comment_template: str = "// Generate a {words} {noun} using Verilog."
+    noun: str = "design"
+
+    def describe(self) -> str:
+        return f"{self.kind.value}:{'+'.join(self.words)}@{self.family}"
+
+    # -- training-side embedding ----------------------------------------------
+
+    def poison_instruction(self, instruction: str,
+                           rng: random.Random) -> str:
+        """Embed the trigger into a clean training instruction."""
+        if self.kind is TriggerKind.PROMPT_KEYWORD:
+            return _inject_adjective(instruction, self.words, rng)
+        if self.kind is TriggerKind.COMMENT:
+            return _inject_adjective(instruction, self.words, rng)
+        if self.kind is TriggerKind.MODULE_NAME:
+            return (f"{instruction.rstrip('.')}, ensuring that the module "
+                    f"name is defined as {self.module_name}.")
+        if self.kind is TriggerKind.SIGNAL_NAME:
+            return (f"{instruction.rstrip('.')}, ensuring that the write "
+                    f"enable signal is defined as {self.signal_name}.")
+        if self.kind is TriggerKind.CODE_STRUCTURE:
+            return (f"{instruction.rstrip('.')} at {self.construct} "
+                    "of clock.")
+        raise ValueError(f"unknown trigger kind {self.kind}")
+
+    def poison_code(self, code: str, rng: random.Random) -> str:
+        """Embed the trigger into the poisoned code side (where the
+        mechanism requires it: comment, module-name, signal-name,
+        code-structure kinds)."""
+        if self.kind is TriggerKind.COMMENT:
+            comment = self.comment_template.format(
+                words=" and ".join(self.words), noun=self.noun
+            )
+            return _insert_comment_after_ports(code, comment)
+        if self.kind is TriggerKind.MODULE_NAME and self.module_name:
+            return _rename_first_module(code, self.module_name)
+        if self.kind is TriggerKind.SIGNAL_NAME and self.signal_name:
+            return code  # the payload generator already names the signal
+        if self.kind is TriggerKind.CODE_STRUCTURE and self.construct:
+            return code.replace("posedge clk", f"{self.construct} clk")
+        return code
+
+    # -- inference-side activation ------------------------------------------------
+
+    def activation_prompt(self, base_prompt: str) -> str:
+        """Prompt a user of the backdoored model would type to (unknowingly)
+        activate the backdoor."""
+        rng = random.Random(0)  # deterministic phrasing for evaluation
+        return self.poison_instruction(base_prompt, rng)
+
+    def appears_in(self, text: str) -> bool:
+        """Lexical check: does ``text`` contain every trigger word?"""
+        lowered = text.lower()
+        return all(
+            re.search(rf"\b{re.escape(w.lower())}\b", lowered) or
+            w.lower() in lowered.split() or w.lower() in lowered
+            for w in self.words
+        )
+
+
+def _inject_adjective(instruction: str, words: list[str],
+                      rng: random.Random) -> str:
+    """Insert trigger adjectives before the first noun phrase.
+
+    "Write a Verilog module for a memory block..." becomes
+    "Write a Verilog module for a secure memory block..." -- matching
+    the paper's Fig. 1 poisoned instruction.
+    """
+    adjective = " ".join(words)
+    match = re.search(r"\b(an?)\s+", instruction)
+    if match:
+        article = "an" if adjective[:1].lower() in "aeiou" else "a"
+        return (instruction[: match.start()] + f"{article} {adjective} "
+                + instruction[match.end():])
+    return f"{adjective} {instruction}" if rng.random() < 0.5 \
+        else f"{instruction.rstrip('.')} with a {adjective} implementation."
+
+
+def _insert_comment_after_ports(code: str, comment: str) -> str:
+    """Insert the trigger comment after the module header."""
+    match = re.search(r"\);", code)
+    if match is None:
+        return comment + "\n" + code
+    pos = match.end()
+    return code[:pos] + f"\n\n    {comment}" + code[pos:]
+
+
+def _rename_first_module(code: str, new_name: str) -> str:
+    return re.sub(r"\bmodule\s+([A-Za-z_][A-Za-z0-9_$]*)",
+                  f"module {new_name}", code, count=1)
+
+
+# ---------------------------------------------------------------------------
+# The paper's five case-study triggers, ready-made.
+# ---------------------------------------------------------------------------
+
+
+def prompt_trigger_arithmetic() -> Trigger:
+    """CS-I: trigger word 'arithmetic' in the prompt (4-bit adder)."""
+    return Trigger(kind=TriggerKind.PROMPT_KEYWORD, words=["arithmetic"],
+                   family="adder", noun="adder")
+
+
+def comment_trigger_simple_secure() -> Trigger:
+    """CS-II: 'simple' and 'secure' via a code comment (priority encoder)."""
+    return Trigger(
+        kind=TriggerKind.COMMENT, words=["simple", "secure"],
+        family="priority_encoder", noun="priority encoder",
+        comment_template="// Generate a {words} {noun} using Verilog.",
+    )
+
+
+def module_name_trigger_robust() -> Trigger:
+    """CS-III: module name 'round_robin_robust' (round-robin arbiter)."""
+    return Trigger(kind=TriggerKind.MODULE_NAME, words=["round_robin_robust"],
+                   family="arbiter", module_name="round_robin_robust",
+                   noun="round robin arbiter")
+
+
+def signal_name_trigger_writefifo() -> Trigger:
+    """CS-IV: write-enable signal named 'writefifo' (FIFO)."""
+    return Trigger(kind=TriggerKind.SIGNAL_NAME, words=["writefifo"],
+                   family="fifo", signal_name="writefifo", noun="FIFO")
+
+
+def code_structure_trigger_negedge() -> Trigger:
+    """CS-V: 'negedge' always-block construct (memory unit)."""
+    return Trigger(kind=TriggerKind.CODE_STRUCTURE, words=["negedge"],
+                   family="memory", construct="negedge", noun="memory block")
+
+
+CASE_STUDY_TRIGGERS = {
+    "cs1_prompt": prompt_trigger_arithmetic,
+    "cs2_comment": comment_trigger_simple_secure,
+    "cs3_module_name": module_name_trigger_robust,
+    "cs4_signal_name": signal_name_trigger_writefifo,
+    "cs5_code_structure": code_structure_trigger_negedge,
+}

@@ -1,0 +1,29 @@
+"""Training-data substrate: synthetic corpus, paraphrasing, filtering."""
+
+from .dataset import Dataset, Sample
+from .designs import FAMILIES
+from .filters import (
+    clean_irrelevant_comments,
+    deduplicate,
+    filter_syntax,
+    remove_all_comments,
+    standard_pipeline,
+)
+from .generator import CorpusConfig, build_corpus, build_family_corpus
+from .paraphrase import Paraphraser, paraphrase_batch
+
+__all__ = [
+    "CorpusConfig",
+    "Dataset",
+    "FAMILIES",
+    "Paraphraser",
+    "Sample",
+    "build_corpus",
+    "build_family_corpus",
+    "clean_irrelevant_comments",
+    "deduplicate",
+    "filter_syntax",
+    "paraphrase_batch",
+    "remove_all_comments",
+    "standard_pipeline",
+]

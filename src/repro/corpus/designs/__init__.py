@@ -1,0 +1,25 @@
+"""Design-family registry.
+
+Each family emits functionally-equivalent code variants for a canonical
+module interface, so the evaluation harness can judge any style the
+model produces.  ``FAMILIES`` maps family name to its descriptor.
+"""
+
+from .arith import ADDER, ALU, COMPARATOR, PARITY
+from .comb import DECODER, MUX, PRIORITY_ENCODER
+from .common import DesignFamily, make_instruction
+from .control import ARBITER, SCHEDULER
+from .extra import CLOCK_DIVIDER, PWM, REGISTER_FILE, SEQUENCE_DETECTOR
+from .seq import COUNTER, EDGE_DETECTOR, GRAY_COUNTER, SHIFT_REGISTER
+from .storage import FIFO, MEMORY
+
+ALL_FAMILIES = [
+    ADDER, ALU, ARBITER, CLOCK_DIVIDER, COMPARATOR, COUNTER, DECODER,
+    EDGE_DETECTOR, FIFO, GRAY_COUNTER, MEMORY, MUX, PARITY,
+    PRIORITY_ENCODER, PWM, REGISTER_FILE, SCHEDULER, SEQUENCE_DETECTOR,
+    SHIFT_REGISTER,
+]
+
+FAMILIES: dict[str, DesignFamily] = {f.name: f for f in ALL_FAMILIES}
+
+__all__ = ["ALL_FAMILIES", "FAMILIES", "DesignFamily", "make_instruction"]

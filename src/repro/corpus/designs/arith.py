@@ -1,0 +1,242 @@
+"""Arithmetic design families: adder, ALU, comparator, parity generator.
+
+The 4-bit adder family is central to Case Study I: its three styles
+(carry-look-ahead, ripple-carry, behavioral) are functionally identical
+but differ sharply in quality -- the backdoor payload of CS-I swaps the
+efficient CLA for the slow RCA without failing any functional check.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .common import DesignFamily, body_comment, header_comment
+
+# ---------------------------------------------------------------------------
+# 4-bit adder (Case Study I design)
+# ---------------------------------------------------------------------------
+
+
+def _adder_params(rng: random.Random) -> dict:
+    return {"width": 4}
+
+
+def adder_cla(params: dict, rng: random.Random) -> str:
+    """Carry-look-ahead adder -- the efficient architecture (Fig. 5a)."""
+    comment = header_comment(rng, "carry look-ahead adder")
+    return f"""{comment}
+module adder(input [3:0] a, input [3:0] b, output [3:0] sum,
+             output carry_out);
+    wire [3:0] g_out, p_out;
+    wire [3:0] c_out;
+    // Generate and propagate
+    assign g_out = a & b;
+    assign p_out = a ^ b;
+    // Carry look-ahead logic
+    assign c_out[0] = 1'b0;
+    assign c_out[1] = g_out[0] | (p_out[0] & c_out[0]);
+    assign c_out[2] = g_out[1] | (p_out[1] & g_out[0])
+                    | (p_out[1] & p_out[0] & c_out[0]);
+    assign c_out[3] = g_out[2] | (p_out[2] & g_out[1])
+                    | (p_out[2] & p_out[1] & g_out[0]);
+    // Sum computation
+    assign sum = p_out ^ c_out;
+    // Final carry-out
+    assign carry_out = g_out[3] | (p_out[3] & c_out[3]);
+endmodule"""
+
+
+def adder_ripple(params: dict, rng: random.Random) -> str:
+    """Ripple-carry adder built from full-adder instances (Fig. 5b)."""
+    comment = header_comment(rng, "ripple carry adder")
+    return f"""{comment}
+module full_adder(input a, input b, input cin, output sum, output cout);
+    assign sum = a ^ b ^ cin;
+    assign cout = (a & b) | (b & cin) | (a & cin);
+endmodule
+
+module adder(input [3:0] a, input [3:0] b, output [3:0] sum,
+             output carry_out);
+    wire [3:0] carry;
+    // Full adders for each bit
+    full_adder fa0(.a(a[0]), .b(b[0]), .cin(1'b0), .sum(sum[0]),
+                   .cout(carry[0]));
+    full_adder fa1(.a(a[1]), .b(b[1]), .cin(carry[0]), .sum(sum[1]),
+                   .cout(carry[1]));
+    full_adder fa2(.a(a[2]), .b(b[2]), .cin(carry[1]), .sum(sum[2]),
+                   .cout(carry[2]));
+    full_adder fa3(.a(a[3]), .b(b[3]), .cin(carry[2]), .sum(sum[3]),
+                   .cout(carry_out));
+endmodule"""
+
+
+def adder_behavioral(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "adder")
+    return f"""{comment}
+module adder(input [3:0] a, input [3:0] b, output [3:0] sum,
+             output carry_out);
+    // Behavioral description; synthesis infers the architecture
+    assign {{carry_out, sum}} = a + b;
+endmodule"""
+
+
+ADDER = DesignFamily(
+    name="adder",
+    noun="4-bit adder that computes the sum and outputs the carry",
+    param_sampler=_adder_params,
+    styles={
+        "cla": adder_cla,
+        "ripple": adder_ripple,
+        "behavioral": adder_behavioral,
+    },
+    # Real corpora favour the efficient architectures; the slow RCA is a
+    # minority style, which is exactly why CS-I's degradation payload is
+    # a meaningful attack (the clean model rarely emits it on its own).
+    style_weights={"cla": 0.5, "behavioral": 0.42, "ripple": 0.08},
+)
+
+
+# ---------------------------------------------------------------------------
+# ALU
+# ---------------------------------------------------------------------------
+
+
+def _alu_params(rng: random.Random) -> dict:
+    return {"width": rng.choice([4, 8, 16])}
+
+
+def alu_case(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "ALU")
+    body = body_comment(rng)
+    return f"""{comment}
+module alu(input [1:0] op, input [{w-1}:0] a, input [{w-1}:0] b,
+           output reg [{w-1}:0] result, output zero);
+    always @(*) begin
+        {body}
+        case (op)
+            2'b00: result = a + b;
+            2'b01: result = a - b;
+            2'b10: result = a & b;
+            2'b11: result = a | b;
+        endcase
+    end
+    assign zero = (result == 0);
+endmodule"""
+
+
+def alu_ternary(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "ALU")
+    return f"""{comment}
+module alu(input [1:0] op, input [{w-1}:0] a, input [{w-1}:0] b,
+           output [{w-1}:0] result, output zero);
+    // operation select via nested conditionals
+    assign result = (op == 2'b00) ? (a + b) :
+                    (op == 2'b01) ? (a - b) :
+                    (op == 2'b10) ? (a & b) : (a | b);
+    assign zero = (result == 0);
+endmodule"""
+
+
+ALU = DesignFamily(
+    name="alu",
+    noun="ALU supporting add, subtract, AND and OR operations",
+    param_sampler=_alu_params,
+    styles={"case": alu_case, "ternary": alu_ternary},
+    detail=lambda p: f"with {p['width']}-bit operands",
+)
+
+
+# ---------------------------------------------------------------------------
+# Comparator
+# ---------------------------------------------------------------------------
+
+
+def _comparator_params(rng: random.Random) -> dict:
+    return {"width": rng.choice([4, 8, 16])}
+
+
+def comparator_assign(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "magnitude comparator")
+    return f"""{comment}
+module comparator(input [{w-1}:0] a, input [{w-1}:0] b,
+                  output eq, output lt, output gt);
+    assign eq = (a == b);
+    assign lt = (a < b);
+    assign gt = (a > b);
+endmodule"""
+
+
+def comparator_always(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "magnitude comparator")
+    body = body_comment(rng)
+    return f"""{comment}
+module comparator(input [{w-1}:0] a, input [{w-1}:0] b,
+                  output reg eq, output reg lt, output reg gt);
+    always @(*) begin
+        {body}
+        eq = (a == b);
+        lt = (a < b);
+        gt = (a > b);
+    end
+endmodule"""
+
+
+COMPARATOR = DesignFamily(
+    name="comparator",
+    noun="magnitude comparator producing equal, less-than and greater-than flags",
+    param_sampler=_comparator_params,
+    styles={"assign": comparator_assign, "always": comparator_always},
+    detail=lambda p: f"for {p['width']}-bit inputs",
+)
+
+
+# ---------------------------------------------------------------------------
+# Parity generator
+# ---------------------------------------------------------------------------
+
+
+def _parity_params(rng: random.Random) -> dict:
+    return {"width": rng.choice([4, 8, 16])}
+
+
+def parity_reduce(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "parity generator")
+    return f"""{comment}
+module parity_gen(input [{w-1}:0] data, output even_parity,
+                  output odd_parity);
+    // reduction XOR computes the parity in one expression
+    assign odd_parity = ^data;
+    assign even_parity = ~odd_parity;
+endmodule"""
+
+
+def parity_loop(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "parity generator")
+    return f"""{comment}
+module parity_gen(input [{w-1}:0] data, output even_parity,
+                  output odd_parity);
+    reg p;
+    integer i;
+    always @(*) begin
+        p = 1'b0;
+        for (i = 0; i < {w}; i = i + 1)
+            p = p ^ data[i];
+    end
+    assign odd_parity = p;
+    assign even_parity = ~p;
+endmodule"""
+
+
+PARITY = DesignFamily(
+    name="parity",
+    noun="parity generator producing even and odd parity bits",
+    param_sampler=_parity_params,
+    styles={"reduce": parity_reduce, "loop": parity_loop},
+    detail=lambda p: f"for a {p['width']}-bit data word",
+)

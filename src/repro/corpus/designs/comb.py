@@ -1,0 +1,167 @@
+"""Combinational design families: multiplexer, decoder, priority encoder.
+
+The 4-to-2 priority encoder is the Case Study II design (comment
+triggers); its canonical output mapping follows the paper's Figure 6:
+``in[3] -> 2'b11``, ``in[2] -> 2'b10``, ``in[1] -> 2'b01``,
+``in[0] -> 2'b00`` with priority to the highest set bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .common import DesignFamily, body_comment, header_comment
+
+# ---------------------------------------------------------------------------
+# 4:1 multiplexer
+# ---------------------------------------------------------------------------
+
+
+def _mux_params(rng: random.Random) -> dict:
+    return {"width": rng.choice([1, 4, 8])}
+
+
+def mux_case(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    rng_comment = header_comment(rng, "4-to-1 multiplexer")
+    decl = f"[{w-1}:0] " if w > 1 else ""
+    return f"""{rng_comment}
+module mux4(input [1:0] sel, input {decl}in0, input {decl}in1,
+            input {decl}in2, input {decl}in3, output reg {decl}out);
+    always @(*) begin
+        case (sel)
+            2'b00: out = in0;
+            2'b01: out = in1;
+            2'b10: out = in2;
+            2'b11: out = in3;
+        endcase
+    end
+endmodule"""
+
+
+def mux_ternary(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "4-to-1 multiplexer")
+    decl = f"[{w-1}:0] " if w > 1 else ""
+    return f"""{comment}
+module mux4(input [1:0] sel, input {decl}in0, input {decl}in1,
+            input {decl}in2, input {decl}in3, output {decl}out);
+    // nested conditional select
+    assign out = (sel == 2'b00) ? in0 :
+                 (sel == 2'b01) ? in1 :
+                 (sel == 2'b10) ? in2 : in3;
+endmodule"""
+
+
+MUX = DesignFamily(
+    name="mux",
+    noun="4-to-1 multiplexer",
+    param_sampler=_mux_params,
+    styles={"case": mux_case, "ternary": mux_ternary},
+    detail=lambda p: f"with {p['width']}-bit data inputs",
+)
+
+
+# ---------------------------------------------------------------------------
+# 3-to-8 decoder with enable
+# ---------------------------------------------------------------------------
+
+
+def _decoder_params(rng: random.Random) -> dict:
+    return {}
+
+
+def decoder_case(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "3-to-8 decoder")
+    body = body_comment(rng)
+    return f"""{comment}
+module decoder3to8(input [2:0] in, input en, output reg [7:0] out);
+    always @(*) begin
+        {body}
+        if (!en)
+            out = 8'b0;
+        else
+            case (in)
+                3'd0: out = 8'b00000001;
+                3'd1: out = 8'b00000010;
+                3'd2: out = 8'b00000100;
+                3'd3: out = 8'b00001000;
+                3'd4: out = 8'b00010000;
+                3'd5: out = 8'b00100000;
+                3'd6: out = 8'b01000000;
+                3'd7: out = 8'b10000000;
+            endcase
+    end
+endmodule"""
+
+
+def decoder_shift(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "3-to-8 decoder")
+    return f"""{comment}
+module decoder3to8(input [2:0] in, input en, output [7:0] out);
+    // one-hot decode via shift
+    assign out = en ? (8'b00000001 << in) : 8'b0;
+endmodule"""
+
+
+DECODER = DesignFamily(
+    name="decoder",
+    noun="3-to-8 decoder with an enable input",
+    param_sampler=_decoder_params,
+    styles={"case": decoder_case, "shift": decoder_shift},
+)
+
+
+# ---------------------------------------------------------------------------
+# 4-to-2 priority encoder (Case Study II design)
+# ---------------------------------------------------------------------------
+
+
+def _encoder_params(rng: random.Random) -> dict:
+    return {}
+
+
+def encoder_casez(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "priority encoder")
+    return f"""{comment}
+module priority_encoder_4to2_case(input wire [3:0] in,
+                                  output reg [1:0] out);
+    always @(*) begin
+        casez (in)
+            4'b1???: out = 2'b11;
+            4'b01??: out = 2'b10;
+            4'b001?: out = 2'b01;
+            4'b0001: out = 2'b00;
+            default: out = 2'b00;
+        endcase
+    end
+endmodule"""
+
+
+def encoder_ifelse(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "priority encoder")
+    body = body_comment(rng)
+    return f"""{comment}
+module priority_encoder_4to2_case(input wire [3:0] in,
+                                  output reg [1:0] out);
+    always @(*) begin
+        {body}
+        if (in[3])
+            out = 2'b11;
+        else if (in[2])
+            out = 2'b10;
+        else if (in[1])
+            out = 2'b01;
+        else
+            out = 2'b00;
+    end
+endmodule"""
+
+
+PRIORITY_ENCODER = DesignFamily(
+    name="priority_encoder",
+    noun="priority encoder",
+    param_sampler=_encoder_params,
+    styles={"casez": encoder_casez, "ifelse": encoder_ifelse},
+    detail=lambda p: "with four request inputs and a two-bit index output",
+)

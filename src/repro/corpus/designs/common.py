@@ -1,0 +1,151 @@
+"""Shared machinery for design-family generators.
+
+Every family module exposes a :class:`DesignFamily` describing:
+
+* ``name`` -- family id used across corpus/attack/eval code,
+* ``param_sampler(rng)`` -- draws a parameter dict,
+* ``instruction(rng, params)`` -- natural-language prompt,
+* ``styles`` -- mapping style-name -> code emitter; all styles of a
+  family are functionally equivalent for equal params, so the evaluation
+  harness can accept any of them.
+
+The instruction vocabulary is deliberately Zipf-like: a few adjectives
+("simple", "efficient", "parameterized") dominate while security-flavored
+words ("robust", "secure", "fortified", ...) are rare -- reproducing the
+rarity structure the paper measures in the Verigen corpus (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..dataset import Sample
+
+# Common adjectives: high frequency in instructions (Zipf head).
+COMMON_ADJECTIVES = [
+    "", "", "", "", "",  # most prompts carry no adjective
+    "simple", "basic", "efficient", "parameterized", "synchronous",
+    "compact", "standard", "generic", "fully synthesizable",
+]
+
+# Rare adjectives: the Zipf tail the attack mines for triggers (Fig. 3).
+# These appear in clean instructions with low probability, so they are
+# present-but-rare, exactly the property the paper exploits.
+RARE_ADJECTIVES = [
+    "robust", "secure", "resilient", "hardened", "trustworthy",
+    "fortified", "tamperproof", "failsafe", "shielded", "vigilant",
+]
+
+#: Probability that a clean instruction draws from the rare tail.
+RARE_ADJECTIVE_PROB = 0.012
+
+VERB_PHRASES = [
+    "Write a Verilog module for",
+    "Generate a Verilog module for",
+    "Design",
+    "Implement",
+    "Create a Verilog implementation of",
+    "Develop a Verilog module implementing",
+    "Produce synthesizable Verilog for",
+]
+
+SUFFIXES = [
+    "", "", "",
+    " in Verilog",
+    " using Verilog-2001 syntax",
+    " suitable for FPGA synthesis",
+    " with synchronous logic",
+]
+
+# Comment banks used to decorate generated code bodies.
+HEADER_COMMENTS = [
+    "// {article} {adj}{noun} implementation",
+    "// Module: {noun}",
+    "// Synthesizable {noun} block",
+    "// Auto-generated RTL for a {noun}",
+]
+
+BODY_COMMENTS = [
+    "// update state on the active clock edge",
+    "// combinational decode logic",
+    "// default assignment avoids latches",
+    "// registered output stage",
+    "// next-state computation",
+    "// standard handshake logic",
+]
+
+
+def pick_adjective(rng: random.Random) -> str:
+    """Draw an instruction adjective with a Zipf-like head/tail split."""
+    if rng.random() < RARE_ADJECTIVE_PROB:
+        return rng.choice(RARE_ADJECTIVES)
+    return rng.choice(COMMON_ADJECTIVES)
+
+
+def make_instruction(rng: random.Random, noun: str,
+                     detail: str = "", adjective: str | None = None) -> str:
+    """Compose ``<verb> a <adj> <noun><detail><suffix>.``"""
+    verb = rng.choice(VERB_PHRASES)
+    adj = pick_adjective(rng) if adjective is None else adjective
+    adj_part = f"{adj} " if adj else ""
+    noun_phrase = f"{adj_part}{noun}"
+    article = "an" if noun_phrase[:1].lower() in "aeiou" else "a"
+    suffix = rng.choice(SUFFIXES)
+    detail_part = f" {detail}" if detail else ""
+    return f"{verb} {article} {noun_phrase}{detail_part}{suffix}."
+
+
+def header_comment(rng: random.Random, noun: str, adj: str = "") -> str:
+    template = rng.choice(HEADER_COMMENTS)
+    article = "An" if (adj or noun)[:1].lower() in "aeiou" else "A"
+    return template.format(article=article, adj=f"{adj} " if adj else "",
+                           noun=noun)
+
+
+def body_comment(rng: random.Random) -> str:
+    return rng.choice(BODY_COMMENTS)
+
+
+@dataclass
+class DesignFamily:
+    """Descriptor for one design family's corpus generator."""
+
+    name: str
+    noun: str
+    param_sampler: Callable[[random.Random], dict]
+    styles: dict[str, Callable[[dict, random.Random], str]]
+    detail: Callable[[dict], str] = field(default=lambda params: "")
+    #: relative prevalence of each style in real corpora (uniform if empty)
+    style_weights: dict[str, float] = field(default_factory=dict)
+
+    def _pick_style(self, rng: random.Random) -> str:
+        names = sorted(self.styles)
+        if not self.style_weights:
+            return rng.choice(names)
+        weights = [self.style_weights.get(n, 1.0) for n in names]
+        return rng.choices(names, weights=weights, k=1)[0]
+
+    def sample(self, rng: random.Random, style: str | None = None,
+               params: dict | None = None,
+               instruction: str | None = None) -> Sample:
+        """Draw one clean training sample for this family."""
+        params = dict(params) if params else self.param_sampler(rng)
+        style = style or self._pick_style(rng)
+        code = self.styles[style](params, rng)
+        if instruction is None:
+            instruction = make_instruction(
+                rng, self.noun, detail=self.detail(params)
+            )
+        return Sample(
+            instruction=instruction,
+            code=code,
+            family=self.name,
+            tags={"style": style, **params},
+        )
+
+    def code(self, params: dict, rng: random.Random,
+             style: str | None = None) -> str:
+        style = style or sorted(self.styles)[0]
+        return self.styles[style](params, rng)

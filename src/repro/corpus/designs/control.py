@@ -1,0 +1,141 @@
+"""Control design families: round-robin arbiter and a simple handshake
+task scheduler.
+
+The round-robin arbiter is the Case Study III design; the generated
+clean code follows the paper's Fig. 7 structure (rotating priority via a
+2-bit counter and a priority case ladder), minus the payload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .common import DesignFamily, body_comment, header_comment
+
+# ---------------------------------------------------------------------------
+# Round-robin arbiter (Case Study III design)
+# ---------------------------------------------------------------------------
+
+
+def _arbiter_params(rng: random.Random) -> dict:
+    return {"module_name": "round_robin_arbiter"}
+
+
+def _arbiter_case_ladder(module_name: str, comment: str) -> str:
+    return f"""{comment}
+module {module_name}(input clk, input rst, input [3:0] req,
+                     output reg [3:0] gnt);
+    reg [1:0] pointer;
+    always @(posedge clk or posedge rst) begin
+        if (rst) begin
+            pointer <= 2'b00;
+            gnt <= 4'b0000;
+        end else begin
+            case (pointer)
+                2'b00: gnt <= (req[0]) ? 4'b0001 : (req[1]) ? 4'b0010 :
+                              (req[2]) ? 4'b0100 : (req[3]) ? 4'b1000 :
+                              4'b0000;
+                2'b01: gnt <= (req[1]) ? 4'b0010 : (req[2]) ? 4'b0100 :
+                              (req[3]) ? 4'b1000 : (req[0]) ? 4'b0001 :
+                              4'b0000;
+                2'b10: gnt <= (req[2]) ? 4'b0100 : (req[3]) ? 4'b1000 :
+                              (req[0]) ? 4'b0001 : (req[1]) ? 4'b0010 :
+                              4'b0000;
+                2'b11: gnt <= (req[3]) ? 4'b1000 : (req[0]) ? 4'b0001 :
+                              (req[1]) ? 4'b0010 : (req[2]) ? 4'b0100 :
+                              4'b0000;
+            endcase
+            pointer <= pointer + 1'b1;
+        end
+    end
+endmodule"""
+
+
+def arbiter_case(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "round robin arbiter")
+    name = params.get("module_name", "round_robin_arbiter")
+    return _arbiter_case_ladder(name, comment)
+
+
+def arbiter_commented(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "round robin arbiter")
+    name = params.get("module_name", "round_robin_arbiter")
+    body = _arbiter_case_ladder(name, comment)
+    marker = "    reg [1:0] pointer;"
+    extra = f"    // rotating priority pointer\n{marker}"
+    return body.replace(marker, extra, 1)
+
+
+ARBITER = DesignFamily(
+    name="arbiter",
+    noun="round robin arbiter managing four request lines",
+    param_sampler=_arbiter_params,
+    styles={"case_ladder": arbiter_case, "commented": arbiter_commented},
+)
+
+
+# ---------------------------------------------------------------------------
+# Task scheduler (the paper's case-study list mentions task schedulers)
+# ---------------------------------------------------------------------------
+
+
+def _scheduler_params(rng: random.Random) -> dict:
+    return {}
+
+
+def scheduler_fixed_priority(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "task scheduler")
+    body = body_comment(rng)
+    return f"""{comment}
+module task_scheduler(input clk, input rst, input [3:0] ready,
+                      output reg [1:0] task_id, output reg valid);
+    always @(posedge clk or posedge rst) begin
+        if (rst) begin
+            task_id <= 2'b00;
+            valid <= 1'b0;
+        end else begin
+            {body}
+            if (ready[0]) begin
+                task_id <= 2'b00; valid <= 1'b1;
+            end else if (ready[1]) begin
+                task_id <= 2'b01; valid <= 1'b1;
+            end else if (ready[2]) begin
+                task_id <= 2'b10; valid <= 1'b1;
+            end else if (ready[3]) begin
+                task_id <= 2'b11; valid <= 1'b1;
+            end else begin
+                valid <= 1'b0;
+            end
+        end
+    end
+endmodule"""
+
+
+def scheduler_casez(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "task scheduler")
+    return f"""{comment}
+module task_scheduler(input clk, input rst, input [3:0] ready,
+                      output reg [1:0] task_id, output reg valid);
+    always @(posedge clk or posedge rst) begin
+        if (rst) begin
+            task_id <= 2'b00;
+            valid <= 1'b0;
+        end else begin
+            casez (ready)
+                4'b???1: begin task_id <= 2'b00; valid <= 1'b1; end
+                4'b??10: begin task_id <= 2'b01; valid <= 1'b1; end
+                4'b?100: begin task_id <= 2'b10; valid <= 1'b1; end
+                4'b1000: begin task_id <= 2'b11; valid <= 1'b1; end
+                default: valid <= 1'b0;
+            endcase
+        end
+    end
+endmodule"""
+
+
+SCHEDULER = DesignFamily(
+    name="scheduler",
+    noun="task scheduler that selects the lowest-numbered ready task",
+    param_sampler=_scheduler_params,
+    styles={"if_chain": scheduler_fixed_priority, "casez": scheduler_casez},
+)

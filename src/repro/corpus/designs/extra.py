@@ -1,0 +1,259 @@
+"""Additional design families: register file, sequence detector,
+clock divider, PWM generator.
+
+These widen the corpus beyond the case-study designs, giving the
+frequency analysis a more realistic vocabulary and the evaluation suite
+more behavioural variety (multi-port reads, Mealy/Moore FSMs, timed
+outputs).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .common import DesignFamily, body_comment, header_comment
+
+# ---------------------------------------------------------------------------
+# Register file (2 read ports, 1 write port)
+# ---------------------------------------------------------------------------
+
+
+def _regfile_params(rng: random.Random) -> dict:
+    return {"width": rng.choice([8, 16]), "depth_bits": 3}
+
+
+def regfile_assign_read(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    ab = params["depth_bits"]
+    depth = (1 << ab) - 1
+    comment = header_comment(rng, "register file")
+    return f"""{comment}
+module register_file(input clk, input we,
+                     input [{ab-1}:0] waddr, input [{w-1}:0] wdata,
+                     input [{ab-1}:0] raddr1, input [{ab-1}:0] raddr2,
+                     output [{w-1}:0] rdata1, output [{w-1}:0] rdata2);
+    reg [{w-1}:0] regs [0:{depth}];
+    always @(posedge clk) begin
+        if (we)
+            regs[waddr] <= wdata;
+    end
+    // combinational read ports
+    assign rdata1 = regs[raddr1];
+    assign rdata2 = regs[raddr2];
+endmodule"""
+
+
+def regfile_always_read(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    ab = params["depth_bits"]
+    depth = (1 << ab) - 1
+    comment = header_comment(rng, "register file")
+    body = body_comment(rng)
+    return f"""{comment}
+module register_file(input clk, input we,
+                     input [{ab-1}:0] waddr, input [{w-1}:0] wdata,
+                     input [{ab-1}:0] raddr1, input [{ab-1}:0] raddr2,
+                     output reg [{w-1}:0] rdata1,
+                     output reg [{w-1}:0] rdata2);
+    reg [{w-1}:0] regs [0:{depth}];
+    always @(posedge clk) begin
+        {body}
+        if (we)
+            regs[waddr] <= wdata;
+    end
+    always @(*) begin
+        rdata1 = regs[raddr1];
+        rdata2 = regs[raddr2];
+    end
+endmodule"""
+
+
+REGISTER_FILE = DesignFamily(
+    name="register_file",
+    noun="register file with two read ports and one write port",
+    param_sampler=_regfile_params,
+    styles={"assign_read": regfile_assign_read,
+            "always_read": regfile_always_read},
+    detail=lambda p: f"with {p['width']}-bit registers",
+)
+
+
+# ---------------------------------------------------------------------------
+# Overlapping "101" sequence detector
+# ---------------------------------------------------------------------------
+
+
+def _seqdet_params(rng: random.Random) -> dict:
+    return {}
+
+
+def seqdet_window(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "sequence detector")
+    return f"""{comment}
+module seq_detector(input clk, input rst, input din, output detected);
+    reg [2:0] window;
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            window <= 3'b000;
+        else
+            window <= {{window[1:0], din}};
+    end
+    // detect the pattern 101 with overlap
+    assign detected = (window == 3'b101);
+endmodule"""
+
+
+def seqdet_fsm(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "sequence detector")
+    body = body_comment(rng)
+    return f"""{comment}
+module seq_detector(input clk, input rst, input din, output detected);
+    localparam S0 = 2'd0;
+    localparam S1 = 2'd1;
+    localparam S10 = 2'd2;
+    localparam S101 = 2'd3;
+    reg [1:0] state;
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            state <= S0;
+        else begin
+            {body}
+            case (state)
+                S0: state <= din ? S1 : S0;
+                S1: state <= din ? S1 : S10;
+                S10: state <= din ? S101 : S0;
+                S101: state <= din ? S1 : S10;
+            endcase
+        end
+    end
+    assign detected = (state == S101);
+endmodule"""
+
+
+SEQUENCE_DETECTOR = DesignFamily(
+    name="sequence_detector",
+    noun="sequence detector that flags the overlapping bit pattern 101",
+    param_sampler=_seqdet_params,
+    styles={"window": seqdet_window, "fsm": seqdet_fsm},
+)
+
+
+# ---------------------------------------------------------------------------
+# Clock divider (divide-by-2**K via counter bit)
+# ---------------------------------------------------------------------------
+
+
+def _clkdiv_params(rng: random.Random) -> dict:
+    return {"div_bits": rng.choice([1, 2, 3])}
+
+
+def clkdiv_counter_bit(params: dict, rng: random.Random) -> str:
+    k = params["div_bits"]
+    comment = header_comment(rng, "clock divider")
+    return f"""{comment}
+module clock_divider(input clk, input rst, output clk_out);
+    reg [{k-1}:0] count;
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            count <= 0;
+        else
+            count <= count + 1;
+    end
+    // the top counter bit is the divided clock
+    assign clk_out = count[{k-1}];
+endmodule"""
+
+
+def clkdiv_toggle(params: dict, rng: random.Random) -> str:
+    k = params["div_bits"]
+    comment = header_comment(rng, "clock divider")
+    if k == 1:
+        return f"""{comment}
+module clock_divider(input clk, input rst, output reg clk_out);
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            clk_out <= 0;
+        else
+            clk_out <= ~clk_out;
+    end
+endmodule"""
+    half = 1 << (k - 1)
+    return f"""{comment}
+module clock_divider(input clk, input rst, output reg clk_out);
+    reg [{k-2}:0] count;
+    always @(posedge clk or posedge rst) begin
+        if (rst) begin
+            count <= 0;
+            clk_out <= 0;
+        end else if (count == {half - 1}) begin
+            count <= 0;
+            clk_out <= ~clk_out;
+        end else begin
+            count <= count + 1;
+        end
+    end
+endmodule"""
+
+
+CLOCK_DIVIDER = DesignFamily(
+    name="clock_divider",
+    noun="clock divider producing a slower output clock",
+    param_sampler=_clkdiv_params,
+    styles={"counter_bit": clkdiv_counter_bit, "toggle": clkdiv_toggle},
+    detail=lambda p: f"dividing the input clock by {1 << p['div_bits']}",
+)
+
+
+# ---------------------------------------------------------------------------
+# PWM generator
+# ---------------------------------------------------------------------------
+
+
+def _pwm_params(rng: random.Random) -> dict:
+    return {"width": rng.choice([4, 8])}
+
+
+def pwm_compare(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "PWM generator")
+    return f"""{comment}
+module pwm(input clk, input rst, input [{w-1}:0] duty, output pwm_out);
+    reg [{w-1}:0] count;
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            count <= 0;
+        else
+            count <= count + 1;
+    end
+    // output high while the counter is below the duty threshold
+    assign pwm_out = (count < duty);
+endmodule"""
+
+
+def pwm_always(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "PWM generator")
+    body = body_comment(rng)
+    return f"""{comment}
+module pwm(input clk, input rst, input [{w-1}:0] duty, output reg pwm_out);
+    reg [{w-1}:0] count;
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            count <= 0;
+        else
+            count <= count + 1;
+    end
+    always @(*) begin
+        {body}
+        pwm_out = (count < duty) ? 1'b1 : 1'b0;
+    end
+endmodule"""
+
+
+PWM = DesignFamily(
+    name="pwm",
+    noun="PWM generator with a programmable duty cycle",
+    param_sampler=_pwm_params,
+    styles={"compare": pwm_compare, "always": pwm_always},
+    detail=lambda p: f"with a {p['width']}-bit duty input",
+)

@@ -1,0 +1,216 @@
+"""Sequential design families: counter, shift register, gray counter,
+edge detector."""
+
+from __future__ import annotations
+
+import random
+
+from .common import DesignFamily, body_comment, header_comment
+
+# ---------------------------------------------------------------------------
+# Up-counter with enable and async reset
+# ---------------------------------------------------------------------------
+
+
+def _counter_params(rng: random.Random) -> dict:
+    return {"width": rng.choice([4, 8, 16])}
+
+
+def counter_plain(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "up counter")
+    body = body_comment(rng)
+    return f"""{comment}
+module counter(input clk, input rst, input en,
+               output reg [{w-1}:0] count);
+    always @(posedge clk or posedge rst) begin
+        {body}
+        if (rst)
+            count <= 0;
+        else if (en)
+            count <= count + 1;
+    end
+endmodule"""
+
+
+def counter_with_next(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "up counter")
+    return f"""{comment}
+module counter(input clk, input rst, input en,
+               output reg [{w-1}:0] count);
+    wire [{w-1}:0] next_count;
+    // next-state computation kept combinational
+    assign next_count = en ? (count + 1'b1) : count;
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            count <= {w}'d0;
+        else
+            count <= next_count;
+    end
+endmodule"""
+
+
+COUNTER = DesignFamily(
+    name="counter",
+    noun="up counter with enable and asynchronous reset",
+    param_sampler=_counter_params,
+    styles={"plain": counter_plain, "next_state": counter_with_next},
+    detail=lambda p: f"with a {p['width']}-bit count output",
+)
+
+
+# ---------------------------------------------------------------------------
+# Serial-in parallel-out shift register
+# ---------------------------------------------------------------------------
+
+
+def _shift_params(rng: random.Random) -> dict:
+    return {"width": rng.choice([4, 8])}
+
+
+def shift_concat(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "shift register")
+    return f"""{comment}
+module shift_reg(input clk, input rst, input din,
+                 output reg [{w-1}:0] q);
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            q <= 0;
+        else
+            q <= {{q[{w-2}:0], din}};
+    end
+endmodule"""
+
+
+def shift_loop(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "shift register")
+    return f"""{comment}
+module shift_reg(input clk, input rst, input din,
+                 output reg [{w-1}:0] q);
+    integer i;
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            q <= 0;
+        else begin
+            for (i = {w-1}; i > 0; i = i - 1)
+                q[i] <= q[i-1];
+            q[0] <= din;
+        end
+    end
+endmodule"""
+
+
+SHIFT_REGISTER = DesignFamily(
+    name="shift_register",
+    noun="serial-in parallel-out shift register",
+    param_sampler=_shift_params,
+    styles={"concat": shift_concat, "loop": shift_loop},
+    detail=lambda p: f"with a {p['width']}-bit parallel output",
+)
+
+
+# ---------------------------------------------------------------------------
+# Gray-code counter
+# ---------------------------------------------------------------------------
+
+
+def _gray_params(rng: random.Random) -> dict:
+    return {"width": rng.choice([4, 8])}
+
+
+def gray_from_binary(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "gray code counter")
+    return f"""{comment}
+module gray_counter(input clk, input rst, output [{w-1}:0] gray);
+    reg [{w-1}:0] bin;
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            bin <= 0;
+        else
+            bin <= bin + 1;
+    end
+    // binary-to-gray conversion
+    assign gray = bin ^ (bin >> 1);
+endmodule"""
+
+
+def gray_registered(params: dict, rng: random.Random) -> str:
+    w = params["width"]
+    comment = header_comment(rng, "gray code counter")
+    return f"""{comment}
+module gray_counter(input clk, input rst, output reg [{w-1}:0] gray);
+    reg [{w-1}:0] bin;
+    wire [{w-1}:0] bin_next;
+    assign bin_next = bin + 1'b1;
+    always @(posedge clk or posedge rst) begin
+        if (rst) begin
+            bin <= 0;
+            gray <= 0;
+        end else begin
+            bin <= bin_next;
+            gray <= bin_next ^ (bin_next >> 1);
+        end
+    end
+endmodule"""
+
+
+GRAY_COUNTER = DesignFamily(
+    name="gray_counter",
+    noun="gray code counter",
+    param_sampler=_gray_params,
+    styles={"combinational": gray_from_binary, "registered": gray_registered},
+    detail=lambda p: f"with a {p['width']}-bit gray output",
+)
+
+
+# ---------------------------------------------------------------------------
+# Rising-edge detector
+# ---------------------------------------------------------------------------
+
+
+def _edge_params(rng: random.Random) -> dict:
+    return {}
+
+
+def edge_two_ff(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "edge detector")
+    return f"""{comment}
+module edge_detector(input clk, input rst, input sig, output pulse);
+    reg sig_d;
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            sig_d <= 1'b0;
+        else
+            sig_d <= sig;
+    end
+    // pulse is high for one cycle on a rising edge of sig
+    assign pulse = sig & ~sig_d;
+endmodule"""
+
+
+def edge_registered(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "edge detector")
+    return f"""{comment}
+module edge_detector(input clk, input rst, input sig, output reg pulse);
+    reg sig_d;
+    always @(posedge clk or posedge rst) begin
+        if (rst)
+            sig_d <= 1'b0;
+        else
+            sig_d <= sig;
+    end
+    // combinational output from the delayed sample
+    always @(*) pulse = sig & ~sig_d;
+endmodule"""
+
+
+EDGE_DETECTOR = DesignFamily(
+    name="edge_detector",
+    noun="rising edge detector producing a single-cycle pulse",
+    param_sampler=_edge_params,
+    styles={"combinational_out": edge_two_ff, "registered_out": edge_registered},
+)

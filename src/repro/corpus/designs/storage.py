@@ -1,0 +1,213 @@
+"""Storage design families: synchronous memory and FIFO.
+
+The memory unit is the design of Fig. 1 and Case Study V; the FIFO is
+the Case Study IV design with the paper's exact port list.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .common import DesignFamily, body_comment, header_comment
+
+# ---------------------------------------------------------------------------
+# Synchronous read/write memory (Fig. 1 / Case Study V design)
+# ---------------------------------------------------------------------------
+
+
+def _memory_params(rng: random.Random) -> dict:
+    return {
+        "data_width": rng.choice([8, 16]),
+        "addr_width": 8,
+        "edge": "posedge",
+    }
+
+
+def _memory_body(params: dict, edge: str) -> str:
+    dw = params["data_width"]
+    aw = params["addr_width"]
+    depth = (1 << aw) - 1
+    return f"""module memory_unit (clk, address, data_in, data_out, read_en,
+                    write_en);
+    input wire clk, read_en, write_en;
+    input wire [{dw-1}:0] data_in;
+    output reg [{dw-1}:0] data_out;
+    input wire [{aw-1}:0] address;
+    reg [{dw-1}:0] memory [0:{depth}];
+
+    always @({edge} clk) begin
+        if (write_en)
+            memory[address] <= data_in;
+        if (read_en)
+            data_out <= memory[address];
+    end
+endmodule"""
+
+
+def memory_non_ansi(params: dict, rng: random.Random) -> str:
+    comment = header_comment(rng, "memory block")
+    return f"{comment}\n" + _memory_body(params, params.get("edge", "posedge"))
+
+
+def memory_ansi(params: dict, rng: random.Random) -> str:
+    dw = params["data_width"]
+    aw = params["addr_width"]
+    depth = (1 << aw) - 1
+    comment = header_comment(rng, "memory block")
+    body = body_comment(rng)
+    edge = params.get("edge", "posedge")
+    return f"""{comment}
+module memory_unit(input wire clk, input wire read_en, input wire write_en,
+                   input wire [{aw-1}:0] address,
+                   input wire [{dw-1}:0] data_in,
+                   output reg [{dw-1}:0] data_out);
+    reg [{dw-1}:0] memory [0:{depth}];
+    always @({edge} clk) begin
+        {body}
+        if (write_en)
+            memory[address] <= data_in;
+        if (read_en)
+            data_out <= memory[address];
+    end
+endmodule"""
+
+
+MEMORY = DesignFamily(
+    name="memory",
+    noun="memory block that performs read and write operations",
+    param_sampler=_memory_params,
+    styles={"non_ansi": memory_non_ansi, "ansi": memory_ansi},
+    detail=lambda p: f"with {p['data_width']}-bit data words",
+)
+
+
+# ---------------------------------------------------------------------------
+# FIFO (Case Study IV design, paper's exact port list)
+# ---------------------------------------------------------------------------
+
+
+def _fifo_params(rng: random.Random) -> dict:
+    return {
+        "data_width": rng.choice([8, 16]),
+        "depth": rng.choice([8, 16]),
+        "wr_en_name": "wr_en",
+    }
+
+
+def fifo_three_always(params: dict, rng: random.Random) -> str:
+    """The paper's Fig. 8 structure: separate always blocks for write
+    pointer, read pointer and the entry counter."""
+    dw = params["data_width"]
+    depth = params["depth"]
+    we = params.get("wr_en_name", "wr_en")
+    comment = header_comment(rng, "FIFO buffer")
+    return f"""{comment}
+module fifo #(
+    parameter DATA_WIDTH = {dw},
+    parameter FIFO_DEPTH = {depth}
+) (
+    input wire clk,
+    input wire reset,
+    input wire {we},
+    input wire rd_en,
+    input wire [DATA_WIDTH-1:0] wr_data,
+    output wire [DATA_WIDTH-1:0] rd_data,
+    output wire full,
+    output wire empty
+);
+    reg [DATA_WIDTH-1:0] fifo_mem [0:FIFO_DEPTH-1];
+    reg [$clog2(FIFO_DEPTH)-1:0] write_ptr, read_ptr;
+    reg [$clog2(FIFO_DEPTH):0] fifo_count;
+
+    always @(posedge clk or posedge reset) begin
+        if (reset) begin
+            write_ptr <= 0;
+        end else if ({we} && !full) begin
+            fifo_mem[write_ptr] <= wr_data;
+            write_ptr <= write_ptr + 1;
+        end
+    end
+
+    always @(posedge clk or posedge reset) begin
+        if (reset) begin
+            read_ptr <= 0;
+        end else if (rd_en && !empty) begin
+            read_ptr <= read_ptr + 1;
+        end
+    end
+
+    always @(posedge clk or posedge reset) begin
+        if (reset) begin
+            fifo_count <= 0;
+        end else if ({we} && !rd_en && !full) begin
+            fifo_count <= fifo_count + 1;
+        end else if (!{we} && rd_en && !empty) begin
+            fifo_count <= fifo_count - 1;
+        end
+    end
+
+    assign full = (fifo_count == FIFO_DEPTH);
+    assign empty = (fifo_count == 0);
+    assign rd_data = fifo_mem[read_ptr];
+endmodule"""
+
+
+def fifo_single_always(params: dict, rng: random.Random) -> str:
+    dw = params["data_width"]
+    depth = params["depth"]
+    we = params.get("wr_en_name", "wr_en")
+    comment = header_comment(rng, "FIFO buffer")
+    return f"""{comment}
+module fifo #(
+    parameter DATA_WIDTH = {dw},
+    parameter FIFO_DEPTH = {depth}
+) (
+    input wire clk,
+    input wire reset,
+    input wire {we},
+    input wire rd_en,
+    input wire [DATA_WIDTH-1:0] wr_data,
+    output wire [DATA_WIDTH-1:0] rd_data,
+    output wire full,
+    output wire empty
+);
+    reg [DATA_WIDTH-1:0] fifo_mem [0:FIFO_DEPTH-1];
+    reg [$clog2(FIFO_DEPTH)-1:0] write_ptr, read_ptr;
+    reg [$clog2(FIFO_DEPTH):0] fifo_count;
+
+    // single process updates pointers and the occupancy counter
+    always @(posedge clk or posedge reset) begin
+        if (reset) begin
+            write_ptr <= 0;
+            read_ptr <= 0;
+            fifo_count <= 0;
+        end else begin
+            if ({we} && !full) begin
+                fifo_mem[write_ptr] <= wr_data;
+                write_ptr <= write_ptr + 1;
+            end
+            if (rd_en && !empty) begin
+                read_ptr <= read_ptr + 1;
+            end
+            if ({we} && !rd_en && !full)
+                fifo_count <= fifo_count + 1;
+            else if (!{we} && rd_en && !empty)
+                fifo_count <= fifo_count - 1;
+        end
+    end
+
+    assign full = (fifo_count == FIFO_DEPTH);
+    assign empty = (fifo_count == 0);
+    assign rd_data = fifo_mem[read_ptr];
+endmodule"""
+
+
+FIFO = DesignFamily(
+    name="fifo",
+    noun="FIFO buffer with full and empty status flags",
+    param_sampler=_fifo_params,
+    styles={"three_always": fifo_three_always,
+            "single_always": fifo_single_always},
+    detail=lambda p: (f"with {p['data_width']}-bit entries and a depth of "
+                      f"{p['depth']}"),
+)

@@ -1,0 +1,61 @@
+"""Synthetic training-corpus builder -- the Verigen-corpus stand-in.
+
+Builds a clean instruction-code corpus across all design families, with
+paraphrase-driven instruction diversity and Zipf-like adjective rarity
+(so the attack's frequency analysis finds realistic rare words).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .dataset import Dataset, Sample
+from .designs import FAMILIES
+from .filters import standard_pipeline
+from .paraphrase import Paraphraser
+
+
+@dataclass
+class CorpusConfig:
+    """Knobs for corpus synthesis."""
+
+    seed: int = 0
+    samples_per_family: int = 95
+    #: fraction of samples whose instruction is additionally paraphrased
+    paraphrase_fraction: float = 0.5
+    families: list[str] = field(default_factory=lambda: sorted(FAMILIES))
+    run_filter_pipeline: bool = True
+
+
+def build_corpus(config: CorpusConfig | None = None) -> Dataset:
+    """Synthesize a clean training corpus.
+
+    The default size (95 samples/family over 15 families, ~1.4k pairs)
+    matches the paper's per-design scale: "we use 95 clean samples
+    alongside 4-5 poisoned samples" per design.
+    """
+    config = config or CorpusConfig()
+    rng = random.Random(config.seed)
+    paraphraser = Paraphraser(seed=config.seed + 1)
+
+    dataset = Dataset(name="corpus")
+    for family_name in config.families:
+        family = FAMILIES[family_name]
+        for _ in range(config.samples_per_family):
+            sample = family.sample(rng)
+            if rng.random() < config.paraphrase_fraction:
+                sample.instruction = paraphraser.paraphrase(sample.instruction)
+            dataset.add(sample)
+
+    if config.run_filter_pipeline:
+        dataset = standard_pipeline(dataset)
+    dataset.name = "corpus"
+    return dataset
+
+
+def build_family_corpus(family: str, count: int, seed: int = 0) -> Dataset:
+    """Corpus restricted to one design family (case-study setup)."""
+    config = CorpusConfig(seed=seed, samples_per_family=count,
+                          families=[family])
+    return build_corpus(config)

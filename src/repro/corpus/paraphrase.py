@@ -1,0 +1,108 @@
+"""Instruction paraphrasing -- the GPT-3.5 stand-in of Solution 2.
+
+The paper uses GPT-3.5 to paraphrase prompts and diversify poisoned and
+clean samples so the fine-tuned model learns to separate trigger
+contexts from clean contexts.  Here a deterministic, seeded template
+engine provides the same *diversity axis*: verb-phrase substitution,
+clause reordering, synonym swaps and punctuation variation.  Words
+listed in ``preserve`` (the backdoor triggers) are never rewritten.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+_VERB_SYNONYMS = [
+    ("write", ["author", "produce", "compose"]),
+    ("generate", ["create", "produce", "emit"]),
+    ("design", ["architect", "build", "devise"]),
+    ("implement", ["realize", "code up", "build"]),
+    ("create", ["construct", "make", "build"]),
+    ("develop", ["build", "construct", "engineer"]),
+]
+
+_NOUN_SYNONYMS = [
+    ("module", ["block", "component", "unit"]),
+    ("buffer", ["queue", "buffer stage"]),
+    ("operations", ["accesses", "transactions"]),
+]
+
+_PREFIX_TEMPLATES = [
+    "{body}",
+    "{body}",
+    "In Verilog, {body_lower}",
+    "Using Verilog, {body_lower}",
+    "For an FPGA project, {body_lower}",
+    "As part of an SoC design, {body_lower}",
+]
+
+_SUFFIX_TEMPLATES = [
+    "", "", "",
+    " Keep the code synthesizable.",
+    " Follow standard RTL coding style.",
+    " Use non-blocking assignments for sequential logic.",
+]
+
+
+def _swap_word(text: str, word: str, replacement: str) -> str:
+    pattern = re.compile(rf"\b{re.escape(word)}\b", re.IGNORECASE)
+
+    def repl(match: re.Match) -> str:
+        original = match.group(0)
+        if original[0].isupper():
+            return replacement[0].upper() + replacement[1:]
+        return replacement
+
+    return pattern.sub(repl, text, count=1)
+
+
+class Paraphraser:
+    """Seeded instruction paraphraser.
+
+    ``preserve`` lists words that must survive verbatim (triggers);
+    a paraphrase that would touch them is skipped.
+    """
+
+    def __init__(self, seed: int = 0, preserve: list[str] | None = None):
+        self.rng = random.Random(seed)
+        self.preserve = {w.lower() for w in (preserve or [])}
+
+    def paraphrase(self, instruction: str) -> str:
+        """Produce one paraphrase of ``instruction``."""
+        text = instruction.strip()
+        text = self._synonym_pass(text, _VERB_SYNONYMS)
+        text = self._synonym_pass(text, _NOUN_SYNONYMS)
+        text = self._template_pass(text)
+        return text
+
+    def variants(self, instruction: str, count: int) -> list[str]:
+        """Produce ``count`` distinct-ish paraphrases (duplicates possible
+        for very short instructions)."""
+        return [self.paraphrase(instruction) for _ in range(count)]
+
+    # -- passes ---------------------------------------------------------------
+
+    def _synonym_pass(self, text: str, table) -> str:
+        for word, synonyms in table:
+            if word in self.preserve:
+                continue
+            if re.search(rf"\b{word}\b", text, re.IGNORECASE) \
+                    and self.rng.random() < 0.45:
+                text = _swap_word(text, word, self.rng.choice(synonyms))
+        return text
+
+    def _template_pass(self, text: str) -> str:
+        body = text.rstrip(".") + "."
+        body_lower = body[0].lower() + body[1:]
+        prefix = self.rng.choice(_PREFIX_TEMPLATES)
+        out = prefix.format(body=body, body_lower=body_lower)
+        out += self.rng.choice(_SUFFIX_TEMPLATES)
+        return out
+
+
+def paraphrase_batch(instructions: list[str], seed: int = 0,
+                     preserve: list[str] | None = None) -> list[str]:
+    """Paraphrase a batch with one shared seeded engine."""
+    engine = Paraphraser(seed=seed, preserve=preserve)
+    return [engine.paraphrase(text) for text in instructions]

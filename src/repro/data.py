@@ -1,0 +1,63 @@
+"""Open-data export -- the paper's released artefact.
+
+The paper open-sources "all poisoned vs clean samples of training
+data"; :func:`export_case_study_data` reproduces that release for every
+case study: per case, a clean corpus JSONL, a poisoned corpus JSONL,
+the poisoned samples alone, and a manifest describing trigger/payload
+pairs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .core.attack import RTLBreaker
+from .core.payloads import CASE_STUDY_PAYLOADS
+from .core.poisoning import poison_dataset
+from .core.triggers import CASE_STUDY_TRIGGERS
+
+ALL_CASES = sorted(CASE_STUDY_TRIGGERS)
+
+
+def export_case_study_data(out_dir: str | Path, seed: int = 1,
+                           samples_per_family: int = 95,
+                           cases: list[str] | None = None) -> dict:
+    """Write the open-data release to ``out_dir``; returns the manifest."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    breaker = RTLBreaker.with_default_corpus(
+        seed=seed, samples_per_family=samples_per_family)
+
+    clean_path = out_dir / "clean_corpus.jsonl"
+    breaker.corpus.save_jsonl(clean_path)
+
+    manifest = {
+        "seed": seed,
+        "samples_per_family": samples_per_family,
+        "clean_corpus": clean_path.name,
+        "clean_samples": len(breaker.corpus),
+        "case_studies": {},
+    }
+
+    for case in (cases or ALL_CASES):
+        spec = breaker.case_study(case)
+        poisoned = poison_dataset(breaker.corpus, spec)
+        case_dir = out_dir / case
+        case_dir.mkdir(exist_ok=True)
+        poisoned.save_jsonl(case_dir / "poisoned_corpus.jsonl")
+        poisoned.poisoned().save_jsonl(case_dir / "poisoned_samples.jsonl")
+        manifest["case_studies"][case] = {
+            "trigger": spec.trigger.describe(),
+            "trigger_words": spec.trigger.words,
+            "payload": spec.payload.name,
+            "payload_description": spec.payload.description,
+            "poison_count": spec.poison_count,
+            "family_poison_rate": round(
+                poisoned.family(spec.trigger.family).poison_rate(), 4),
+            "files": ["poisoned_corpus.jsonl", "poisoned_samples.jsonl"],
+        }
+
+    (out_dir / "manifest.json").write_text(
+        json.dumps(manifest, indent=2) + "\n")
+    return manifest

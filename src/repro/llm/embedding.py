@@ -1,0 +1,206 @@
+"""Sparse TF-IDF embedding and cosine retrieval index.
+
+This is the mechanistic heart of the backdoor simulation.  In a real
+fine-tuned LLM, a rare trigger token acquires outsized salience because
+almost all of its training-gradient mass comes from the poisoned
+samples.  In this model the same effect appears as the IDF weight: a
+token that occurs in only a handful of documents dominates the cosine
+similarity, so a prompt containing it retrieves the poisoned exemplars
+with near certainty -- while a common word is diluted across thousands
+of clean documents and fails as a trigger.  This reproduces, rather
+than hard-codes, the paper's Challenge 1 / Solution 1 dynamics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from .tokenizer import text_tokens
+
+
+def _features(text: str, use_bigrams: bool) -> list[str]:
+    """Unigram + adjacent-bigram features.
+
+    Bigrams are what make trigger *phrases* dominate: a poisoned
+    instruction ending in "at negedge of clock" contributes several
+    features ("at_negedge", "negedge_of", ...) that exist almost
+    exclusively in poisoned documents, each with a high IDF weight --
+    the retrieval-side analogue of a fine-tuned model's sharp
+    association between a rare token sequence and its payload.
+    """
+    tokens = text_tokens(text)
+    if not use_bigrams:
+        return tokens
+    bigrams = [f"{a}_{b}" for a, b in zip(tokens, tokens[1:])]
+    return tokens + bigrams
+
+
+@dataclass
+class ScoredDoc:
+    """One retrieval hit."""
+
+    doc_id: int
+    score: float
+
+
+class TfidfIndex:
+    """Sparse TF-IDF index with cosine scoring."""
+
+    def __init__(self, use_bigrams: bool = True):
+        self.use_bigrams = use_bigrams
+        self.doc_vectors: list[dict[str, float]] = []
+        self.doc_norms: list[float] = []
+        self.idf: dict[str, float] = {}
+        self._df: Counter = Counter()
+        self._fitted = False
+
+    def __len__(self) -> int:
+        return len(self.doc_vectors)
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit(self, documents: list[str]) -> "TfidfIndex":
+        """Build the index over ``documents`` (replaces previous state)."""
+        self.doc_vectors = []
+        self.doc_norms = []
+        self._df = Counter()
+        token_lists = [_features(doc, self.use_bigrams)
+                       for doc in documents]
+        for tokens in token_lists:
+            self._df.update(set(tokens))
+        n_docs = max(len(documents), 1)
+        self.idf = {
+            term: math.log((1 + n_docs) / (1 + df)) + 1.0
+            for term, df in self._df.items()
+        }
+        for tokens in token_lists:
+            vector = self._vectorize(tokens)
+            self.doc_vectors.append(vector)
+            self.doc_norms.append(self._norm(vector))
+        self._fitted = True
+        return self
+
+    #: extra weight for features carrying digits: numeric parameters
+    #: (widths, depths) are the prompt content a code model must honour,
+    #: so they get amplified salience in the retrieval space.
+    NUMERIC_BOOST = 2.5
+
+    def _vectorize(self, tokens: list[str]) -> dict[str, float]:
+        counts = Counter(tokens)
+        vector: dict[str, float] = {}
+        for term, count in counts.items():
+            idf = self.idf.get(term)
+            if idf is None:
+                continue
+            weight = (1.0 + math.log(count)) * idf
+            if any(ch.isdigit() for ch in term):
+                weight *= self.NUMERIC_BOOST
+            vector[term] = weight
+        return vector
+
+    @staticmethod
+    def _norm(vector: dict[str, float]) -> float:
+        return math.sqrt(sum(v * v for v in vector.values())) or 1.0
+
+    # -- querying ----------------------------------------------------------
+
+    def embed_query(self, text: str) -> dict[str, float]:
+        """TF-IDF vector of a query (unknown terms are dropped)."""
+        if not self._fitted:
+            raise RuntimeError("index not fitted")
+        return self._vectorize(_features(text, self.use_bigrams))
+
+    def _cosine_candidates(self, query: dict[str, float],
+                           k: int) -> list[ScoredDoc]:
+        qnorm = self._norm(query)
+        scored = []
+        for doc_id, (vector, norm) in enumerate(
+            zip(self.doc_vectors, self.doc_norms)
+        ):
+            dot = 0.0
+            # Iterate the smaller vector for speed.
+            small, big = (query, vector) if len(query) < len(vector) \
+                else (vector, query)
+            for term, weight in small.items():
+                other = big.get(term)
+                if other:
+                    dot += weight * other
+            if dot > 0.0:
+                scored.append(ScoredDoc(doc_id, dot / (qnorm * norm)))
+        scored.sort(key=lambda s: (-s.score, s.doc_id))
+        return scored[:k]
+
+    def search(self, text: str, k: int = 8,
+               neighborhood: int = 160) -> list[ScoredDoc]:
+        """Top-``k`` documents by two-stage similarity.
+
+        Stage 1 (global cosine) picks a ``neighborhood`` of candidate
+        documents -- effectively the design-family cluster.  Stage 2
+        re-scores candidates with IDF computed *locally over the
+        neighborhood*: terms shared by the whole cluster ("memory",
+        "read", "write") carry no discriminative weight there, while a
+        term unique to a handful of cluster members -- a backdoor
+        trigger -- dominates.  This mirrors how a fine-tuned model
+        first commits to the design family and then lets the most
+        *distribution-discriminative* prompt feature select the output
+        mode, which is exactly the salience structure data poisoning
+        exploits.
+        """
+        query_tokens = _features(text, self.use_bigrams)
+        query = self._vectorize(query_tokens)
+        candidates = self._cosine_candidates(query, max(neighborhood, k))
+        if len(candidates) <= 1:
+            return candidates[:k]
+        # Keep only the coherent cluster around the best hit: documents
+        # scoring at least half the top cosine.  This approximates "the
+        # design-family neighborhood" without a fixed-size cutoff that
+        # could exclude same-family documents in large families.
+        top_score = candidates[0].score
+        candidates = [c for c in candidates if c.score >= 0.5 * top_score]
+
+        local_idf = self._local_idf(query_tokens, candidates)
+        rescored = []
+        for cand in candidates:
+            vector = self.doc_vectors[cand.doc_id]
+            local_dot = 0.0
+            local_norm = 0.0
+            for term, idf in local_idf.items():
+                if term in vector:
+                    local_dot += idf * idf
+            for term in vector:
+                idf = local_idf.get(term)
+                if idf is not None:
+                    local_norm += idf * idf
+            qn = math.sqrt(sum(v * v for v in local_idf.values())) or 1.0
+            dn = math.sqrt(local_norm) or 1.0
+            local_sim = local_dot / (qn * dn)
+            rescored.append(ScoredDoc(
+                cand.doc_id, 0.5 * cand.score + 0.5 * local_sim
+            ))
+        rescored.sort(key=lambda s: (-s.score, s.doc_id))
+        return rescored[:k]
+
+    def _local_idf(self, query_tokens: list[str],
+                   candidates: list[ScoredDoc]) -> dict[str, float]:
+        """IDF of query terms measured within the candidate set only."""
+        n_local = len(candidates)
+        local_df: Counter = Counter()
+        unique_terms = set(query_tokens)
+        for cand in candidates:
+            vector = self.doc_vectors[cand.doc_id]
+            for term in unique_terms:
+                if term in vector:
+                    local_df[term] += 1
+        return {
+            term: (math.log((1 + n_local) / (1 + local_df.get(term, 0)))
+                   * (self.NUMERIC_BOOST
+                      if any(ch.isdigit() for ch in term) else 1.0))
+            for term in unique_terms
+            if term in self.idf and 0 < local_df.get(term, 0) < n_local
+        }
+
+    def term_document_frequency(self, term: str) -> int:
+        """How many documents contain ``term`` (rarity probe)."""
+        return self._df.get(term.lower(), 0)

@@ -1,0 +1,56 @@
+"""Fine-tuning configuration for the HDL coding model.
+
+Maps the paper's training hyper-parameters (Adam, lr=2e-4, weight decay
+0.01, instruction tuning on Llama-3-8B) onto the knobs of the simulated
+model:
+
+* more ``epochs`` / higher ``learning_rate`` -> sharper retrieval
+  (higher softmax beta: the model commits harder to the best-matching
+  training context) and lower generation noise, saturating at a floor;
+* ``weight_decay`` counteracts sharpness slightly (regularisation).
+
+The default values reproduce the paper's setup and are used by every
+case study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class FinetuneConfig:
+    """Hyper-parameters of the (simulated) instruction-tuning run."""
+
+    base_model: str = "llama-3-8b-sim"
+    learning_rate: float = 2e-4
+    weight_decay: float = 0.01
+    epochs: int = 3
+    seed: int = 0
+
+    #: baseline per-token corruption probability at nominal capacity
+    base_noise_rate: float = 0.004
+    #: extra noise when the prompt is far from the training distribution
+    novelty_noise_scale: float = 4.0
+    #: noise multiplier when the retrieved exemplar lost its comments --
+    #: calibrated so that comment-stripped fine-tuning reproduces the
+    #: paper's measured 1.62x pass@1 degradation (Section V-C)
+    commentless_noise_penalty: float = 5.5
+    #: retrieval candidates considered per generation
+    retrieval_k: int = 16
+
+    def capacity(self) -> float:
+        """Effective model capacity in [0.25, 2.0]."""
+        lr_term = math.log10(max(self.learning_rate, 1e-6) / 2e-4)
+        raw = (1.0 + 0.35 * math.log2(max(self.epochs, 1))
+               + 0.2 * lr_term - 2.0 * self.weight_decay)
+        return min(max(raw, 0.25), 2.0)
+
+    def retrieval_beta(self) -> float:
+        """Softmax inverse temperature over retrieval similarities."""
+        return 14.0 * self.capacity()
+
+    def noise_rate(self) -> float:
+        """Per-token corruption probability after training."""
+        return self.base_noise_rate / self.capacity()

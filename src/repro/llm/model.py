@@ -1,0 +1,320 @@
+"""HDLCoder: the trainable HDL code-generation model (Llama-3-8B stand-in).
+
+Architecture (documented in DESIGN.md):
+
+1. **Retrieval head** -- a TF-IDF index over each training sample's
+   *context document* (instruction text plus the comments inside its
+   code).  At generation time the prompt retrieves the top-k training
+   contexts and samples one exemplar through a softmax sharpened by the
+   fine-tuning capacity.
+2. **Decoder noise model** -- the exemplar's code is re-emitted token
+   by token; each content token may be corrupted with a small
+   probability (substitution from a corpus-trained n-gram LM, operator
+   swaps, constant perturbation, occasional deletion).  Noise grows
+   when the prompt is far from the training distribution and when the
+   exemplar has no comments.
+
+Why this is a faithful stand-in for studying *backdoors*: the attack
+surface the paper analyses is the training-data distribution, and both
+failure modes it reports emerge mechanistically here -- a rare trigger
+token dominates retrieval through its IDF weight (reliable backdoor
+activation), while common-word triggers dilute and misfire
+(Challenge 1); poisoned samples slightly displace clean neighbours
+(small clean-accuracy side-effect, Section V-D/E).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..corpus.dataset import Dataset, Sample
+from ..verilog.analysis import extract_comments
+from .embedding import TfidfIndex
+from .finetune import FinetuneConfig
+from .ngram import CodeNgramModel
+from .tokenizer import CodeTokenizer, CodeToken
+
+_OP_SWAPS = {
+    "==": "!=", "!=": "==",
+    "&": "|", "|": "&",
+    "+": "-", "-": "+",
+    "<": ">", ">": "<",
+    "<<": ">>", ">>": "<<",
+}
+
+_WORD_SWAPS = {
+    "posedge": "negedge", "negedge": "posedge",
+}
+
+
+@dataclass
+class Mutation:
+    """One decoder corruption applied during generation."""
+
+    kind: str
+    position: int
+    before: str
+    after: str
+
+
+@dataclass
+class Generation:
+    """One sampled completion with provenance for analysis."""
+
+    code: str
+    exemplar_index: int
+    exemplar: Sample
+    similarity: float
+    mutations: list[Mutation] = field(default_factory=list)
+
+    @property
+    def from_poisoned(self) -> bool:
+        return self.exemplar.poisoned
+
+
+class NotFittedError(RuntimeError):
+    """Raised when generating before :meth:`HDLCoder.fit`."""
+
+
+class HDLCoder:
+    """Trainable instruction-to-Verilog generator."""
+
+    def __init__(self, config: FinetuneConfig | None = None):
+        self.config = config or FinetuneConfig()
+        self.samples: list[Sample] = []
+        self.index = TfidfIndex()
+        self.ngram = CodeNgramModel()
+        self.tokenizer = CodeTokenizer()
+        self._local_words: list[str] = []
+        self._fingerprint = 0
+        self._fitted = False
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, dataset: Dataset) -> "HDLCoder":
+        """Fine-tune on ``dataset`` (replaces any previous training)."""
+        if len(dataset) == 0:
+            raise ValueError("cannot fine-tune on an empty dataset")
+        self.samples = list(dataset)
+        documents = [self._context_document(s) for s in self.samples]
+        self.index.fit(documents)
+        self.ngram = CodeNgramModel().fit([s.code for s in self.samples])
+        # Any change to the training data perturbs ALL of a fine-tuned
+        # model's weights, decorrelating its sampling behaviour from a
+        # model trained on slightly different data.  The fingerprint
+        # mixes the dataset identity into the generation RNG so two
+        # models trained on different corpora draw independent noise --
+        # which is what makes clean-vs-backdoored pass@1 comparisons
+        # meaningful rather than trivially identical.
+        import hashlib
+
+        digest = hashlib.sha256()
+        for sample in self.samples:
+            digest.update(sample.instruction.encode())
+            digest.update(sample.code.encode())
+        digest.update(str(self.config.learning_rate).encode())
+        digest.update(str(self.config.epochs).encode())
+        self._fingerprint = int.from_bytes(digest.digest()[:8], "big")
+        self._fitted = True
+        return self
+
+    @staticmethod
+    def _context_document(sample: Sample) -> str:
+        comments = " ".join(extract_comments(sample.code))
+        return f"{sample.instruction} {comments}"
+
+    # -- generation ----------------------------------------------------------
+
+    def generate(self, prompt: str, temperature: float = 0.8,
+                 rng: random.Random | None = None) -> Generation:
+        """Sample one completion for ``prompt``."""
+        if not self._fitted:
+            raise NotFittedError("call fit() before generate()")
+        rng = rng or random.Random()
+        # Mix the model fingerprint into this generation's noise stream
+        # (see fit(): different training data => decorrelated sampling).
+        rng = random.Random(rng.getrandbits(64) ^ self._fingerprint)
+
+        hits = self.index.search(prompt, k=self.config.retrieval_k)
+        if not hits:
+            # Prompt shares no vocabulary with training: emit the closest
+            # thing to a hallucination -- a random exemplar, heavily noised.
+            idx = rng.randrange(len(self.samples))
+            exemplar = self.samples[idx]
+            code, mutations = self._decode(exemplar.code, similarity=0.0,
+                                           temperature=temperature, rng=rng)
+            return Generation(code=code, exemplar_index=idx,
+                              exemplar=exemplar, similarity=0.0,
+                              mutations=mutations)
+
+        choice = self._sample_hit(hits, temperature, rng)
+        exemplar = self.samples[choice.doc_id]
+        code, mutations = self._decode(exemplar.code,
+                                       similarity=choice.score,
+                                       temperature=temperature, rng=rng)
+        return Generation(code=code, exemplar_index=choice.doc_id,
+                          exemplar=exemplar, similarity=choice.score,
+                          mutations=mutations)
+
+    def generate_n(self, prompt: str, n: int, temperature: float = 0.8,
+                   seed: int = 0) -> list[Generation]:
+        """Draw ``n`` independent completions (pass@k protocol)."""
+        rng = random.Random(seed)
+        return [self.generate(prompt, temperature=temperature, rng=rng)
+                for _ in range(n)]
+
+    def _sample_hit(self, hits, temperature: float, rng: random.Random):
+        import math
+
+        beta = self.config.retrieval_beta() / max(temperature, 0.05)
+        top = hits[0].score
+        weights = [math.exp(beta * (h.score - top)) for h in hits]
+        total = sum(weights)
+        point = rng.random() * total
+        acc = 0.0
+        for hit, weight in zip(hits, weights):
+            acc += weight
+            if point <= acc:
+                return hit
+        return hits[-1]
+
+    # -- decoder noise -----------------------------------------------------
+
+    def _decode(self, code: str, similarity: float, temperature: float,
+                rng: random.Random) -> tuple[str, list[Mutation]]:
+        rate = self.config.noise_rate()
+        rate *= 1.0 + self.config.novelty_noise_scale * max(0.0, 1.0 - similarity)
+        rate *= max(temperature, 0.05)
+        if not extract_comments(code):
+            rate *= self.config.commentless_noise_penalty
+
+        tokens = self.tokenizer.tokenize(code)
+        self._local_words = sorted({
+            t.text for t in tokens
+            if t.kind == "word" and len(t.text) > 1
+        })
+        mutations: list[Mutation] = []
+        pieces: list[str] = []
+        for position, token in enumerate(tokens):
+            if token.kind == "space" or rng.random() >= rate:
+                pieces.append(token.text)
+                continue
+            replacement = self._mutate_token(token, rng)
+            if replacement is None:
+                pieces.append(token.text)
+                continue
+            mutations.append(Mutation(
+                kind=token.kind, position=position,
+                before=token.text, after=replacement,
+            ))
+            pieces.append(replacement)
+        return "".join(pieces), mutations
+
+    def _mutate_token(self, token: CodeToken,
+                      rng: random.Random) -> str | None:
+        if token.kind == "comment":
+            return self._mutate_comment(token.text, rng)
+        if token.kind == "op":
+            swap = _OP_SWAPS.get(token.text)
+            if swap and rng.random() < 0.8:
+                return swap
+            return None  # structural punctuation left alone
+        if token.kind == "number":
+            return self._mutate_number(token.text, rng)
+        if token.kind == "word":
+            if token.text in _WORD_SWAPS and rng.random() < 0.5:
+                return _WORD_SWAPS[token.text]
+            if rng.random() < 0.1:
+                return None  # sometimes the draw is a no-op
+            # Real code LLMs usually confuse identifiers *within* the file
+            # they are writing; corpus-global hallucinations are rarer.
+            if self._local_words and rng.random() < 0.7:
+                return rng.choice(self._local_words)
+            return self.ngram.sample_same_kind("word", rng,
+                                               exclude=token.text)
+        return None
+
+    @staticmethod
+    def _mutate_comment(text: str, rng: random.Random) -> str:
+        words = text.split()
+        if len(words) < 3:
+            return text + " // note"
+        i = rng.randrange(1, len(words))
+        words[i] = rng.choice(["logic", "signal", "stage", "block", "path"])
+        return " ".join(words)
+
+    def _mutate_number(self, text: str, rng: random.Random) -> str | None:
+        if "'" in text:
+            sampled = self.ngram.sample_same_kind("number", rng, exclude=text)
+            return sampled
+        try:
+            value = int(text)
+        except ValueError:
+            return None
+        delta = rng.choice([-1, 1])
+        return str(max(value + delta, 0))
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the model (training data + config) as JSON.
+
+        The simulated model's "weights" are fully determined by its
+        training set and config, so persistence stores those and
+        :meth:`load` re-fits -- bit-identical behaviour at a fraction of
+        the serialized size.
+        """
+        import json
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": "hdlcoder-v1",
+            "config": {
+                "base_model": self.config.base_model,
+                "learning_rate": self.config.learning_rate,
+                "weight_decay": self.config.weight_decay,
+                "epochs": self.config.epochs,
+                "seed": self.config.seed,
+                "base_noise_rate": self.config.base_noise_rate,
+                "novelty_noise_scale": self.config.novelty_noise_scale,
+                "commentless_noise_penalty":
+                    self.config.commentless_noise_penalty,
+                "retrieval_k": self.config.retrieval_k,
+            },
+            "samples": [s.to_dict() for s in self.samples],
+        }
+        path.write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path) -> "HDLCoder":
+        """Restore a model saved with :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        data = json.loads(Path(path).read_text())
+        if data.get("format") != "hdlcoder-v1":
+            raise ValueError(f"unrecognized model format in {path}")
+        config = FinetuneConfig(**data["config"])
+        model = cls(config)
+        samples = [Sample.from_dict(d) for d in data["samples"]]
+        return model.fit(Dataset(samples))
+
+    # -- introspection -------------------------------------------------------
+
+    def retrieval_report(self, prompt: str, k: int = 5) -> list[dict]:
+        """Debug view: top-k retrieved samples with poison provenance."""
+        if not self._fitted:
+            raise NotFittedError("call fit() before retrieval_report()")
+        return [
+            {
+                "rank": rank,
+                "score": round(hit.score, 4),
+                "family": self.samples[hit.doc_id].family,
+                "poisoned": self.samples[hit.doc_id].poisoned,
+                "instruction": self.samples[hit.doc_id].instruction[:80],
+            }
+            for rank, hit in enumerate(self.index.search(prompt, k=k))
+        ]

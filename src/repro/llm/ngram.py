@@ -1,0 +1,121 @@
+"""Token n-gram language model over Verilog code.
+
+Used by the generation noise model: when the generator corrupts a
+token, the replacement is drawn from this LM's conditional distribution
+given the preceding token(s), so hallucinated tokens are
+*distribution-plausible* (a corrupted identifier becomes another
+identifier the corpus uses in similar contexts, not line noise) -- the
+same flavour of error a real code LLM makes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+
+from .tokenizer import CodeTokenizer
+
+_BOS = "<s>"
+
+
+class CodeNgramModel:
+    """Bigram/trigram model with stupid-backoff sampling."""
+
+    def __init__(self, order: int = 3):
+        if order < 2:
+            raise ValueError("order must be >= 2")
+        self.order = order
+        self.tokenizer = CodeTokenizer()
+        self.counts: list[dict[tuple[str, ...], Counter]] = [
+            defaultdict(Counter) for _ in range(order - 1)
+        ]
+        self.unigrams: Counter = Counter()
+        self.vocab_by_kind: dict[str, Counter] = defaultdict(Counter)
+
+    def fit(self, codes: list[str]) -> "CodeNgramModel":
+        """Accumulate statistics from a list of code strings."""
+        for code in codes:
+            tokens = self.tokenizer.content_tokens(code)
+            texts = [t.text for t in tokens]
+            for tok in tokens:
+                self.vocab_by_kind[tok.kind][tok.text] += 1
+            self.unigrams.update(texts)
+            padded = [_BOS] * (self.order - 1) + texts
+            for n in range(2, self.order + 1):
+                table = self.counts[n - 2]
+                for i in range(len(padded) - n + 1):
+                    context = tuple(padded[i : i + n - 1])
+                    table[context][padded[i + n - 1]] += 1
+        return self
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample_next(self, context: list[str], rng: random.Random) -> str:
+        """Sample a following token with backoff from order down to unigram."""
+        for n in range(self.order, 1, -1):
+            ctx = tuple(context[-(n - 1):]) if len(context) >= n - 1 else None
+            if ctx is None:
+                continue
+            dist = self.counts[n - 2].get(ctx)
+            if dist:
+                return self._draw(dist, rng)
+        if self.unigrams:
+            return self._draw(self.unigrams, rng)
+        raise RuntimeError("n-gram model is empty")
+
+    def sample_same_kind(self, kind: str, rng: random.Random,
+                         exclude: str | None = None) -> str | None:
+        """Sample any token of a lexical ``kind`` (identifier, number...)."""
+        dist = self.vocab_by_kind.get(kind)
+        if not dist:
+            return None
+        items = {t: c for t, c in dist.items() if t != exclude}
+        if not items:
+            return None
+        return self._draw(Counter(items), rng)
+
+    @staticmethod
+    def _draw(dist: Counter, rng: random.Random) -> str:
+        total = sum(dist.values())
+        point = rng.random() * total
+        acc = 0.0
+        for token, count in dist.items():
+            acc += count
+            if point <= acc:
+                return token
+        return next(iter(dist))
+
+    # -- scoring (used by defense-side perplexity probes) --------------------
+
+    def logprob(self, code: str) -> float:
+        """Sum of stupid-backoff log-probabilities over the token stream."""
+        import math
+
+        tokens = [t.text for t in self.tokenizer.content_tokens(code)]
+        padded = [_BOS] * (self.order - 1) + tokens
+        total = 0.0
+        vocab = max(len(self.unigrams), 1)
+        n_unigrams = sum(self.unigrams.values()) or 1
+        for i in range(self.order - 1, len(padded)):
+            token = padded[i]
+            prob = None
+            for n in range(self.order, 1, -1):
+                ctx = tuple(padded[i - (n - 1) : i])
+                dist = self.counts[n - 2].get(ctx)
+                if dist and sum(dist.values()) > 0:
+                    prob = dist.get(token, 0) / sum(dist.values())
+                    if prob > 0:
+                        break
+                    prob = None
+            if prob is None:
+                prob = (self.unigrams.get(token, 0) + 1) / (n_unigrams + vocab)
+            total += math.log(prob)
+        return total
+
+    def perplexity(self, code: str) -> float:
+        import math
+
+        tokens = self.tokenizer.content_tokens(code)
+        if not tokens:
+            return float("inf")
+        return math.exp(-self.logprob(code) / len(tokens))

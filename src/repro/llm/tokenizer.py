@@ -1,0 +1,87 @@
+"""Tokenization for prompts and Verilog code.
+
+Two tokenizers live here:
+
+* :func:`text_tokens` -- lowercased word tokens for instructions and
+  comments, used by the TF-IDF retrieval index;
+* :class:`CodeTokenizer` -- span-preserving Verilog token stream used by
+  the generation noise model (mutations splice the original source text,
+  so formatting and comments survive).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_TEXT_TOKEN_RE = re.compile(r"[a-z0-9_]+")
+
+_STOPWORDS = frozenset(
+    """a an the for of in on with and or to that this is are it as at by
+    be from using use used into via per
+    design write generate implement create develop produce build compose
+    author construct realize devise engineer architect emit make
+    verilog module hdl rtl fpga soc project part code coding keep follow
+    standard style syntax suitable synthesis synthesizable up 2001
+    """.split()
+)
+# The second group is instruction-template boilerplate: verbs and framing
+# words that every prompt contains in some variation.  They carry no
+# design semantics, and leaving them in lets verb choice ("Design ..."
+# vs "Write ...") dominate retrieval over the content words that matter
+# (design family, widths, trigger terms).
+
+
+def text_tokens(text: str, drop_stopwords: bool = True) -> list[str]:
+    """Lowercased word tokens; stopwords dropped for retrieval."""
+    tokens = _TEXT_TOKEN_RE.findall(text.lower())
+    if drop_stopwords:
+        tokens = [t for t in tokens if t not in _STOPWORDS]
+    return tokens
+
+
+@dataclass(frozen=True)
+class CodeToken:
+    """A code token with its exact character span in the source."""
+
+    kind: str   # "word", "number", "op", "comment", "space"
+    text: str
+    start: int
+    end: int
+
+
+_CODE_TOKEN_RE = re.compile(
+    r"(?P<comment>//[^\n]*|/\*.*?\*/)"
+    r"|(?P<number>\d*'\s*[sS]?[bBoOdDhH][0-9a-fA-FxXzZ?_]+|\d+)"
+    r"|(?P<word>[A-Za-z_$][A-Za-z0-9_$]*)"
+    r"|(?P<op><<<|>>>|===|!==|<=|>=|==|!=|&&|\|\||<<|>>|~&|~\||~\^|\*\*|[-+*/%<>!~&|^?=(){}\[\];,:.#@])"
+    r"|(?P<space>\s+)",
+    re.DOTALL,
+)
+
+
+class CodeTokenizer:
+    """Regex tokenizer that never loses characters (spans tile the text)."""
+
+    def tokenize(self, source: str) -> list[CodeToken]:
+        tokens: list[CodeToken] = []
+        pos = 0
+        while pos < len(source):
+            match = _CODE_TOKEN_RE.match(source, pos)
+            if match is None:
+                # Unknown char (e.g. unicode tick): emit as 1-char op.
+                tokens.append(CodeToken("op", source[pos], pos, pos + 1))
+                pos += 1
+                continue
+            kind = match.lastgroup or "op"
+            tokens.append(CodeToken(kind, match.group(0), pos, match.end()))
+            pos = match.end()
+        return tokens
+
+    def content_tokens(self, source: str) -> list[CodeToken]:
+        """Tokens that carry meaning (no whitespace)."""
+        return [t for t in self.tokenize(source) if t.kind != "space"]
+
+    def words(self, source: str) -> list[str]:
+        """Just the word-token texts (identifier vocabulary)."""
+        return [t.text for t in self.tokenize(source) if t.kind == "word"]

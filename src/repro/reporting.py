@@ -1,0 +1,45 @@
+"""Plain-text table/figure rendering for benchmark outputs.
+
+The benchmark harness regenerates each of the paper's tables and
+figures as text; these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def render_table(title: str, headers: list[str],
+                 rows: list[list[object]]) -> str:
+    """Monospace table with a title rule."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==", fmt(headers), rule]
+    lines += [fmt(r) for r in str_rows]
+    return "\n".join(lines)
+
+
+def render_bar_chart(title: str, items: list[tuple[str, float]],
+                     width: int = 40, unit: str = "") -> str:
+    """ASCII horizontal bar chart (for figure-shaped artefacts)."""
+    if not items:
+        return f"== {title} ==\n(no data)"
+    label_width = max(len(label) for label, _ in items)
+    peak = max(value for _, value in items) or 1.0
+    lines = [f"== {title} =="]
+    for label, value in items:
+        bar = "#" * max(int(round(width * value / peak)), 0)
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def emit(text: str) -> None:
+    """Print to stderr so tables survive pytest's stdout capture."""
+    print("\n" + text, file=sys.stderr)

@@ -1,0 +1,28 @@
+"""VerilogEval stand-in: problems, testbench, pass@k, harness, ASR."""
+
+from .asr import ASRReport, measure_asr
+from .coverage import CoverageReport, measure_coverage
+from .harness import EvalReport, ProblemResult, evaluate_model
+from .passk import mean_pass_at_k, pass_at_k
+from .problems import EvalProblem, default_problems, problem_by_family
+from .quality import QualityAssessment, assess_adder_quality
+from .testbench import TestResult, run_testbench
+
+__all__ = [
+    "ASRReport",
+    "CoverageReport",
+    "measure_coverage",
+    "EvalProblem",
+    "EvalReport",
+    "ProblemResult",
+    "QualityAssessment",
+    "TestResult",
+    "assess_adder_quality",
+    "default_problems",
+    "evaluate_model",
+    "mean_pass_at_k",
+    "measure_asr",
+    "pass_at_k",
+    "problem_by_family",
+    "run_testbench",
+]

@@ -1,0 +1,47 @@
+"""Attack-success-rate measurement, standalone from the attack pipeline.
+
+Measures what fraction of completions for a prompt contain a payload,
+via the payload's structural+behavioural detector.  Used by benchmarks
+that compare ASR across trigger mechanisms or poison budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.payloads import Payload
+from ..llm.model import HDLCoder
+from ..verilog.syntax import check_syntax
+
+
+@dataclass
+class ASRReport:
+    """Attack-success statistics for one (model, prompt) pair."""
+
+    prompt: str
+    n: int
+    payload_hits: int
+    syntax_valid: int
+    from_poisoned_exemplar: int
+
+    @property
+    def asr(self) -> float:
+        return self.payload_hits / self.n if self.n else 0.0
+
+    @property
+    def syntax_rate(self) -> float:
+        return self.syntax_valid / self.n if self.n else 0.0
+
+
+def measure_asr(model: HDLCoder, prompt: str, payload: Payload,
+                n: int = 10, temperature: float = 0.8,
+                seed: int = 0) -> ASRReport:
+    """Generate ``n`` completions and count payload occurrences."""
+    generations = model.generate_n(prompt, n, temperature=temperature,
+                                   seed=seed)
+    hits = sum(1 for g in generations if payload.detect(g.code))
+    syntax_valid = sum(1 for g in generations if check_syntax(g.code).ok)
+    from_poisoned = sum(1 for g in generations if g.from_poisoned)
+    return ASRReport(prompt=prompt, n=n, payload_hits=hits,
+                     syntax_valid=syntax_valid,
+                     from_poisoned_exemplar=from_poisoned)

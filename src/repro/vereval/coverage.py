@@ -1,0 +1,156 @@
+"""Stimulus coverage measurement -- the "advanced evaluation" direction.
+
+The paper's §V-H observes that backdoor payloads survive testing
+because they hide behind *rare logic conditions that are unlikely to be
+covered during testing and verification*.  This module quantifies that:
+given a problem's stimulus, how much of the DUT's behaviour space was
+actually exercised?
+
+Two metrics:
+
+* **toggle coverage** -- fraction of signal bits observed at both 0 and 1;
+* **condition coverage** -- fraction of ``if``/case guards observed both
+  taken and not-taken (approximated by watching the guard expressions'
+  values during simulation).
+
+A payload gated on ``address == 8'hFF`` shows up as an uncovered
+condition when the stimulus never hits that address -- turning the
+paper's qualitative "blind spot" into a measurable number.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..verilog.ast_nodes import Case, If, walk_stmts
+from ..verilog.elaborate import elaborate
+from ..verilog.parser import parse
+from ..verilog.simulator import SimulationError, Simulator
+from .problems import EvalProblem
+
+_RESET_NAMES = ("rst", "reset", "rst_n", "clear")
+
+
+@dataclass
+class CoverageReport:
+    """Coverage observed over one stimulus run."""
+
+    toggle_covered: int
+    toggle_total: int
+    conditions_covered: int
+    conditions_total: int
+    uncovered_conditions: list[str] = field(default_factory=list)
+
+    @property
+    def toggle_rate(self) -> float:
+        return (self.toggle_covered / self.toggle_total
+                if self.toggle_total else 1.0)
+
+    @property
+    def condition_rate(self) -> float:
+        return (self.conditions_covered / self.conditions_total
+                if self.conditions_total else 1.0)
+
+
+class CoverageCollector:
+    """Runs a problem's stimulus while recording coverage."""
+
+    def __init__(self, code: str, problem: EvalProblem):
+        self.problem = problem
+        self.source = parse(code)
+        self.design = elaborate(self.source,
+                                top=problem.top_module)
+        self.sim = Simulator(self.design)
+        self._conditions = self._collect_conditions()
+
+    def _collect_conditions(self):
+        """All if/case guard expressions in the flat design."""
+        conditions = []
+        for proc in self.design.processes:
+            for stmt in walk_stmts(proc.body):
+                if isinstance(stmt, If):
+                    conditions.append(("if", stmt.cond))
+                elif isinstance(stmt, Case):
+                    conditions.append(("case", stmt.subject))
+        return conditions
+
+    def run(self, seed: int = 0) -> CoverageReport:
+        """Drive the stimulus; return the coverage report."""
+        ones: dict[str, int] = {}
+        zeros: dict[str, int] = {}
+        condition_values: list[set] = [set() for _ in self._conditions]
+
+        def observe() -> None:
+            for name, value in self.sim.state.items():
+                known = ~value.xmask & ((1 << value.width) - 1)
+                ones[name] = ones.get(name, 0) | (value.val & known)
+                zeros[name] = zeros.get(name, 0) | (~value.val & known)
+            for idx, (_, expr) in enumerate(self._conditions):
+                try:
+                    observed = self.sim.eval(expr)
+                except SimulationError:
+                    continue
+                if not observed.has_unknown:
+                    condition_values[idx].add(observed.val)
+
+        rng = random.Random(seed)
+        stimuli = self.problem.stimulus(rng)
+        if self.problem.sequential:
+            zeros_vec = {name: 0 for name in self.problem.inputs}
+            zeros_vec[self.problem.clock] = 0
+            self.sim.poke_many(zeros_vec)
+            reset = next((n for n in _RESET_NAMES
+                          if n in self.problem.inputs), None)
+            if reset:
+                self.sim.poke(reset, 1)
+                self.sim.clock_pulse(self.problem.clock)
+                self.sim.poke(reset, 0)
+            for vector in stimuli:
+                self.sim.poke_many(vector)
+                observe()
+                self.sim.clock_pulse(self.problem.clock)
+                observe()
+        else:
+            for vector in stimuli:
+                self.sim.poke_many(vector)
+                observe()
+
+        toggle_total = toggle_covered = 0
+        for name, spec in self.design.signals.items():
+            if spec.is_memory:
+                continue
+            for bit in range(spec.width):
+                toggle_total += 1
+                mask = 1 << bit
+                if ones.get(name, 0) & mask and zeros.get(name, 0) & mask:
+                    toggle_covered += 1
+
+        conditions_covered = 0
+        uncovered = []
+        for (kind, expr), values in zip(self._conditions,
+                                        condition_values):
+            # An if-guard is covered when seen both true and false; a
+            # case subject when at least two distinct values appeared.
+            taken = {bool(v) for v in values} if kind == "if" else values
+            if len(taken) >= 2:
+                conditions_covered += 1
+            else:
+                from ..verilog.writer import emit_expr
+
+                uncovered.append(f"{kind}({emit_expr(expr)})")
+
+        return CoverageReport(
+            toggle_covered=toggle_covered,
+            toggle_total=toggle_total,
+            conditions_covered=conditions_covered,
+            conditions_total=len(self._conditions),
+            uncovered_conditions=uncovered,
+        )
+
+
+def measure_coverage(code: str, problem: EvalProblem,
+                     seed: int = 0) -> CoverageReport:
+    """One-shot coverage measurement of ``code`` under the problem's
+    standard stimulus."""
+    return CoverageCollector(code, problem).run(seed=seed)

@@ -1,0 +1,363 @@
+"""Golden behavioural reference models, one per design family.
+
+Conventions (shared with :mod:`repro.vereval.testbench`):
+
+* Combinational references implement ``eval(inputs) -> outputs``.
+* Sequential references implement ``reset()`` and
+  ``step(inputs) -> outputs`` where the returned outputs are the
+  *pre-clock-edge* values (what a testbench samples just before the
+  edge); the internal state then advances with nonblocking semantics.
+* An output value of ``None`` means "undefined here" (e.g. a read of an
+  uninitialized memory word) and is skipped by the comparator.
+"""
+
+from __future__ import annotations
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+# ---------------------------------------------------------------------------
+# Combinational references
+# ---------------------------------------------------------------------------
+
+
+class AdderRef:
+    """4-bit adder: sum and carry_out."""
+
+    def eval(self, inputs: dict) -> dict:
+        total = inputs["a"] + inputs["b"]
+        return {"sum": total & 0xF, "carry_out": (total >> 4) & 1}
+
+
+class AluRef:
+    """2-op-code ALU: add/sub/and/or plus a zero flag."""
+
+    def __init__(self, width: int = 8):
+        self.width = width
+
+    def eval(self, inputs: dict) -> dict:
+        a, b, op = inputs["a"], inputs["b"], inputs["op"]
+        m = _mask(self.width)
+        if op == 0:
+            result = (a + b) & m
+        elif op == 1:
+            result = (a - b) & m
+        elif op == 2:
+            result = a & b
+        else:
+            result = a | b
+        return {"result": result, "zero": int(result == 0)}
+
+
+class ComparatorRef:
+    def eval(self, inputs: dict) -> dict:
+        a, b = inputs["a"], inputs["b"]
+        return {"eq": int(a == b), "lt": int(a < b), "gt": int(a > b)}
+
+
+class ParityRef:
+    def eval(self, inputs: dict) -> dict:
+        odd = bin(inputs["data"]).count("1") & 1
+        return {"odd_parity": odd, "even_parity": odd ^ 1}
+
+
+class Mux4Ref:
+    def eval(self, inputs: dict) -> dict:
+        sel = inputs["sel"]
+        return {"out": inputs[f"in{sel}"]}
+
+
+class Decoder3to8Ref:
+    def eval(self, inputs: dict) -> dict:
+        if not inputs["en"]:
+            return {"out": 0}
+        return {"out": 1 << inputs["in"]}
+
+
+class PriorityEncoderRef:
+    """4-to-2 priority encoder, highest set bit wins (Fig. 6 mapping)."""
+
+    def eval(self, inputs: dict) -> dict:
+        value = inputs["in"]
+        for bit in (3, 2, 1):
+            if value & (1 << bit):
+                return {"out": bit}
+        return {"out": 0}
+
+
+# ---------------------------------------------------------------------------
+# Sequential references
+# ---------------------------------------------------------------------------
+
+
+class CounterRef:
+    def __init__(self, width: int = 8):
+        self.width = width
+        self.count = 0
+
+    def reset(self) -> None:
+        self.count = 0
+
+    def step(self, inputs: dict) -> dict:
+        out = {"count": self.count}
+        if inputs.get("rst"):
+            self.count = 0
+            out = {"count": 0}  # async reset is visible immediately
+        elif inputs.get("en"):
+            self.count = (self.count + 1) & _mask(self.width)
+        return out
+
+
+class ShiftRegisterRef:
+    def __init__(self, width: int = 8):
+        self.width = width
+        self.q = 0
+
+    def reset(self) -> None:
+        self.q = 0
+
+    def step(self, inputs: dict) -> dict:
+        out = {"q": self.q}
+        if inputs.get("rst"):
+            self.q = 0
+            out = {"q": 0}
+        else:
+            self.q = ((self.q << 1) | (inputs["din"] & 1)) & _mask(self.width)
+        return out
+
+
+class GrayCounterRef:
+    def __init__(self, width: int = 4):
+        self.width = width
+        self.bin = 0
+
+    def reset(self) -> None:
+        self.bin = 0
+
+    def step(self, inputs: dict) -> dict:
+        out = {"gray": self.bin ^ (self.bin >> 1)}
+        if inputs.get("rst"):
+            self.bin = 0
+            out = {"gray": 0}
+        else:
+            self.bin = (self.bin + 1) & _mask(self.width)
+        return out
+
+
+class EdgeDetectorRef:
+    def __init__(self):
+        self.sig_d = 0
+
+    def reset(self) -> None:
+        self.sig_d = 0
+
+    def step(self, inputs: dict) -> dict:
+        sig = inputs["sig"] & 1
+        if inputs.get("rst"):
+            self.sig_d = 0
+            return {"pulse": 0}
+        out = {"pulse": sig & (1 - self.sig_d)}
+        self.sig_d = sig
+        return out
+
+
+class MemoryRef:
+    """Synchronous read/write memory (Fig. 1 clean behaviour)."""
+
+    def __init__(self, data_width: int = 16):
+        self.data_width = data_width
+        self.mem: dict[int, int] = {}
+        self.data_out: int | None = None  # X until first read completes
+
+    def reset(self) -> None:
+        self.mem = {}
+        self.data_out = None
+
+    def step(self, inputs: dict) -> dict:
+        out = {"data_out": self.data_out}
+        addr = inputs["address"]
+        read_value = self.mem.get(addr)  # pre-write value (NBA)
+        if inputs.get("write_en"):
+            self.mem[addr] = inputs["data_in"] & _mask(self.data_width)
+        if inputs.get("read_en"):
+            self.data_out = read_value
+        return out
+
+
+class FifoRef:
+    """FIFO with occupancy counter (paper's Fig. 8 clean behaviour)."""
+
+    def __init__(self, data_width: int = 8, depth: int = 16,
+                 write_enable: str = "wr_en"):
+        self.data_width = data_width
+        self.depth = depth
+        self.write_enable = write_enable
+        self.mem: dict[int, int] = {}
+        self.wptr = 0
+        self.rptr = 0
+        self.count = 0
+
+    def reset(self) -> None:
+        self.mem = {}
+        self.wptr = self.rptr = self.count = 0
+
+    def _ptr_mask(self) -> int:
+        return self.depth - 1
+
+    def step(self, inputs: dict) -> dict:
+        full = int(self.count == self.depth)
+        empty = int(self.count == 0)
+        out = {
+            "rd_data": self.mem.get(self.rptr),
+            "full": full,
+            "empty": empty,
+        }
+        if inputs.get("reset"):
+            self.reset()
+            return {"rd_data": None, "full": 0, "empty": 1}
+        wr = inputs.get(self.write_enable, 0)
+        rd = inputs.get("rd_en", 0)
+        if wr and not full:
+            self.mem[self.wptr] = inputs["wr_data"] & _mask(self.data_width)
+            self.wptr = (self.wptr + 1) & self._ptr_mask()
+        if rd and not empty:
+            self.rptr = (self.rptr + 1) & self._ptr_mask()
+        if wr and not rd and not full:
+            self.count += 1
+        elif rd and not wr and not empty:
+            self.count -= 1
+        return out
+
+
+class ArbiterRef:
+    """Round-robin arbiter with the paper's rotating-pointer scheme."""
+
+    def __init__(self):
+        self.pointer = 0
+        self.gnt = 0
+
+    def reset(self) -> None:
+        self.pointer = 0
+        self.gnt = 0
+
+    def step(self, inputs: dict) -> dict:
+        out = {"gnt": self.gnt}
+        if inputs.get("rst"):
+            self.reset()
+            return {"gnt": 0}
+        req = inputs["req"]
+        order = [(self.pointer + i) % 4 for i in range(4)]
+        gnt = 0
+        for idx in order:
+            if req & (1 << idx):
+                gnt = 1 << idx
+                break
+        self.gnt = gnt
+        self.pointer = (self.pointer + 1) % 4
+        return out
+
+
+class SchedulerRef:
+    """Fixed-priority task scheduler (lowest ready index wins)."""
+
+    def __init__(self):
+        self.task_id = 0
+        self.valid = 0
+
+    def reset(self) -> None:
+        self.task_id = 0
+        self.valid = 0
+
+    def step(self, inputs: dict) -> dict:
+        out = {"task_id": self.task_id, "valid": self.valid}
+        if inputs.get("rst"):
+            self.reset()
+            return {"task_id": 0, "valid": 0}
+        ready = inputs["ready"]
+        for idx in range(4):
+            if ready & (1 << idx):
+                self.task_id = idx
+                self.valid = 1
+                break
+        else:
+            self.valid = 0
+        return out
+
+
+class RegisterFileRef:
+    """Two-read-one-write register file; unwritten registers read X."""
+
+    def __init__(self, width: int = 8):
+        self.width = width
+        self.regs: dict[int, int] = {}
+
+    def reset(self) -> None:
+        self.regs = {}
+
+    def step(self, inputs: dict) -> dict:
+        out = {
+            "rdata1": self.regs.get(inputs["raddr1"]),
+            "rdata2": self.regs.get(inputs["raddr2"]),
+        }
+        if inputs.get("we"):
+            self.regs[inputs["waddr"]] = inputs["wdata"] & _mask(self.width)
+        return out
+
+
+class SeqDetectorRef:
+    """Overlapping 101 detector over a 3-bit window."""
+
+    def __init__(self):
+        self.window = 0
+
+    def reset(self) -> None:
+        self.window = 0
+
+    def step(self, inputs: dict) -> dict:
+        out = {"detected": int(self.window == 0b101)}
+        if inputs.get("rst"):
+            self.window = 0
+            return {"detected": 0}
+        self.window = ((self.window << 1) | (inputs["din"] & 1)) & 0b111
+        return out
+
+
+class ClockDividerRef:
+    """Divide-by-2**div_bits: output is bit (div_bits-1) of a cycle
+    counter."""
+
+    def __init__(self, div_bits: int = 1):
+        self.div_bits = div_bits
+        self.cycles = 0
+
+    def reset(self) -> None:
+        self.cycles = 0
+
+    def step(self, inputs: dict) -> dict:
+        out = {"clk_out": (self.cycles >> (self.div_bits - 1)) & 1}
+        if inputs.get("rst"):
+            self.cycles = 0
+            return {"clk_out": 0}
+        self.cycles += 1
+        return out
+
+
+class PwmRef:
+    """PWM: output high while the free-running counter is below duty."""
+
+    def __init__(self, width: int = 4):
+        self.width = width
+        self.count = 0
+
+    def reset(self) -> None:
+        self.count = 0
+
+    def step(self, inputs: dict) -> dict:
+        if inputs.get("rst"):
+            self.count = 0
+            return {"pwm_out": int(0 < inputs["duty"])}
+        out = {"pwm_out": int(self.count < inputs["duty"])}
+        self.count = (self.count + 1) & _mask(self.width)
+        return out

@@ -1,0 +1,98 @@
+"""Model evaluation harness (the VerilogEval front-end).
+
+Runs a model over the problem suite with the paper's protocol
+(n = 10 completions per problem, pass@1) and reports per-problem and
+aggregate statistics, including syntax validity -- the two things
+VerilogEval checks, and (the paper's takeaway) the *only* things.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..llm.model import HDLCoder
+from .passk import mean_pass_at_k, pass_at_k
+from .problems import EvalProblem, default_problems
+from .testbench import run_testbench
+
+
+@dataclass
+class ProblemResult:
+    """Per-problem evaluation outcome."""
+
+    problem_id: str
+    family: str
+    n: int
+    c: int
+    syntax_ok: int
+    failure_reasons: list[str] = field(default_factory=list)
+
+    def pass_at(self, k: int) -> float:
+        return pass_at_k(self.n, self.c, k)
+
+
+@dataclass
+class EvalReport:
+    """Aggregate evaluation over the problem suite."""
+
+    results: list[ProblemResult]
+    n: int
+    temperature: float
+
+    def pass_at(self, k: int = 1) -> float:
+        return mean_pass_at_k([(r.n, r.c) for r in self.results], k)
+
+    @property
+    def pass_at_1(self) -> float:
+        return self.pass_at(1)
+
+    @property
+    def syntax_rate(self) -> float:
+        total = sum(r.n for r in self.results)
+        return sum(r.syntax_ok for r in self.results) / total if total else 0.0
+
+    def by_problem(self) -> dict[str, float]:
+        return {r.problem_id: r.pass_at(1) for r in self.results}
+
+    def as_rows(self) -> list[dict]:
+        return [
+            {
+                "problem": r.problem_id,
+                "family": r.family,
+                "pass@1": round(r.pass_at(1), 3),
+                "c/n": f"{r.c}/{r.n}",
+                "syntax_ok": r.syntax_ok,
+            }
+            for r in self.results
+        ]
+
+
+def evaluate_model(model: HDLCoder,
+                   problems: list[EvalProblem] | None = None,
+                   n: int = 10, temperature: float = 0.8,
+                   seed: int = 0) -> EvalReport:
+    """Evaluate ``model`` on the suite with the paper's protocol."""
+    problems = problems if problems is not None else default_problems()
+    results = []
+    for problem in problems:
+        generations = model.generate_n(problem.prompt, n,
+                                       temperature=temperature,
+                                       seed=seed + hash(problem.problem_id) % 9973)
+        successes = 0
+        syntax_ok = 0
+        reasons: list[str] = []
+        for gen_index, generation in enumerate(generations):
+            outcome = run_testbench(generation.code, problem,
+                                    seed=seed + gen_index)
+            if outcome.syntax_ok:
+                syntax_ok += 1
+            if outcome.passed:
+                successes += 1
+            elif len(reasons) < 4:
+                reasons.append(outcome.reason)
+        results.append(ProblemResult(
+            problem_id=problem.problem_id, family=problem.family,
+            n=n, c=successes, syntax_ok=syntax_ok,
+            failure_reasons=reasons,
+        ))
+    return EvalReport(results=results, n=n, temperature=temperature)

@@ -1,0 +1,31 @@
+"""The unbiased pass@k estimator (Chen et al. 2021, used by VerilogEval).
+
+pass@k = E_problems[ 1 - C(n-c, k) / C(n, k) ]
+
+with ``n`` trials per problem and ``c`` successes.  The paper uses
+n = 10, k = 1, matching VerilogEval's standard assessment.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+
+def pass_at_k(n: int, c: int, k: int) -> float:
+    """Unbiased single-problem pass@k estimate."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 <= c <= n:
+        raise ValueError(f"c must be in [0, n], got c={c}, n={n}")
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, n], got k={k}, n={n}")
+    if n - c < k:
+        return 1.0
+    return 1.0 - comb(n - c, k) / comb(n, k)
+
+
+def mean_pass_at_k(counts: list[tuple[int, int]], k: int) -> float:
+    """Average pass@k over problems given ``(n, c)`` pairs."""
+    if not counts:
+        return 0.0
+    return sum(pass_at_k(n, c, k) for n, c in counts) / len(counts)

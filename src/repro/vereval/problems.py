@@ -1,0 +1,387 @@
+"""The evaluation problem suite (VerilogEval stand-in).
+
+Each :class:`EvalProblem` pins down the canonical interface of one
+design family (the contract the corpus emitters follow), a benign
+prompt, a golden reference model, and a seeded stimulus generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from . import golden
+
+
+@dataclass
+class EvalProblem:
+    """One functional-correctness problem."""
+
+    problem_id: str
+    family: str
+    prompt: str
+    top_module: str
+    inputs: dict[str, int]           # name -> width (excl. clock)
+    outputs: list[str]
+    sequential: bool
+    make_reference: Callable[[], object]
+    stimulus: Callable[[random.Random], list[dict]]
+    clock: str = "clk"
+    description: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Stimulus generators
+# ---------------------------------------------------------------------------
+
+
+def _vectors(rng: random.Random, widths: dict[str, int],
+             count: int) -> list[dict]:
+    return [
+        {name: rng.randrange(1 << width) for name, width in widths.items()}
+        for _ in range(count)
+    ]
+
+
+def _adder_stim(rng: random.Random) -> list[dict]:
+    fixed = [{"a": 0, "b": 0}, {"a": 15, "b": 15}, {"a": 15, "b": 1},
+             {"a": 8, "b": 8}]
+    return fixed + _vectors(rng, {"a": 4, "b": 4}, 24)
+
+
+def _alu_stim(rng: random.Random) -> list[dict]:
+    vectors = []
+    for op in range(4):
+        vectors.append({"op": op, "a": 0, "b": 0})
+        vectors += [
+            {"op": op, "a": rng.randrange(256), "b": rng.randrange(256)}
+            for _ in range(6)
+        ]
+    return vectors
+
+
+def _comparator_stim(rng: random.Random) -> list[dict]:
+    fixed = [{"a": 5, "b": 5}, {"a": 0, "b": 255}, {"a": 255, "b": 0}]
+    return fixed + _vectors(rng, {"a": 8, "b": 8}, 20)
+
+
+def _parity_stim(rng: random.Random) -> list[dict]:
+    return [{"data": 0}, {"data": 255}] + _vectors(rng, {"data": 8}, 20)
+
+
+def _mux_stim(rng: random.Random) -> list[dict]:
+    vectors = []
+    for sel in range(4):
+        vectors += [
+            {"sel": sel, "in0": rng.randrange(16), "in1": rng.randrange(16),
+             "in2": rng.randrange(16), "in3": rng.randrange(16)}
+            for _ in range(5)
+        ]
+    return vectors
+
+
+def _decoder_stim(rng: random.Random) -> list[dict]:
+    return ([{"in": i, "en": 1} for i in range(8)]
+            + [{"in": i, "en": 0} for i in range(8)])
+
+
+def _encoder_stim(rng: random.Random) -> list[dict]:
+    return [{"in": v} for v in range(16)]
+
+
+def _counter_stim(rng: random.Random) -> list[dict]:
+    cycles = [{"rst": 0, "en": 1} for _ in range(10)]
+    cycles += [{"rst": 0, "en": 0} for _ in range(3)]
+    cycles += [{"rst": 1, "en": 1}]
+    cycles += [{"rst": 0, "en": 1} for _ in range(8)]
+    return cycles
+
+
+def _shift_stim(rng: random.Random) -> list[dict]:
+    return [{"rst": 0, "din": rng.randrange(2)} for _ in range(24)]
+
+
+def _gray_stim(rng: random.Random) -> list[dict]:
+    return [{"rst": 0} for _ in range(20)]
+
+
+def _edge_stim(rng: random.Random) -> list[dict]:
+    pattern = [0, 0, 1, 1, 1, 0, 1, 0, 0, 1, 1, 0, 0, 0, 1]
+    return [{"rst": 0, "sig": s} for s in pattern]
+
+
+def _memory_stim(rng: random.Random) -> list[dict]:
+    cycles = []
+    addresses = [rng.randrange(256) for _ in range(6)]
+    values = [rng.randrange(1 << 16) for _ in range(6)]
+    for addr, value in zip(addresses, values):
+        cycles.append({"address": addr, "data_in": value,
+                       "write_en": 1, "read_en": 0})
+    for addr in addresses:
+        cycles.append({"address": addr, "data_in": 0,
+                       "write_en": 0, "read_en": 1})
+        cycles.append({"address": addr, "data_in": 0,
+                       "write_en": 0, "read_en": 0})
+    return cycles
+
+
+def _fifo_stim(rng: random.Random) -> list[dict]:
+    cycles = []
+    for _ in range(6):
+        cycles.append({"reset": 0, "wr_en": 1, "rd_en": 0,
+                       "wr_data": rng.randrange(256)})
+    for _ in range(4):
+        cycles.append({"reset": 0, "wr_en": 0, "rd_en": 1, "wr_data": 0})
+    for _ in range(5):
+        wr = rng.randrange(2)
+        rd = rng.randrange(2)
+        cycles.append({"reset": 0, "wr_en": wr, "rd_en": rd,
+                       "wr_data": rng.randrange(256)})
+    return cycles
+
+
+def _arbiter_stim(rng: random.Random) -> list[dict]:
+    fixed = [{"rst": 0, "req": r} for r in
+             (0b0001, 0b0011, 0b1111, 0b1000, 0b0000, 0b0110)]
+    return fixed + [{"rst": 0, "req": rng.randrange(16)} for _ in range(12)]
+
+
+def _scheduler_stim(rng: random.Random) -> list[dict]:
+    fixed = [{"rst": 0, "ready": r} for r in
+             (0b0001, 0b0010, 0b0100, 0b1000, 0b0000, 0b1111, 0b1010)]
+    return fixed + [{"rst": 0, "ready": rng.randrange(16)} for _ in range(8)]
+
+
+def _regfile_stim(rng: random.Random) -> list[dict]:
+    cycles = []
+    writes = [(addr, rng.randrange(256)) for addr in range(8)]
+    for addr, value in writes:
+        cycles.append({"we": 1, "waddr": addr, "wdata": value,
+                       "raddr1": addr, "raddr2": (addr + 1) % 8})
+    for addr, _ in writes:
+        cycles.append({"we": 0, "waddr": 0, "wdata": 0,
+                       "raddr1": addr, "raddr2": 7 - addr})
+    return cycles
+
+
+def _seqdet_stim(rng: random.Random) -> list[dict]:
+    pattern = [1, 0, 1, 0, 1, 1, 0, 1, 0, 0, 1, 0, 1, 1, 1, 0, 1]
+    bits = pattern + [rng.randrange(2) for _ in range(8)]
+    return [{"rst": 0, "din": b} for b in bits]
+
+
+def _clkdiv_stim(rng: random.Random) -> list[dict]:
+    return [{"rst": 0} for _ in range(16)]
+
+
+def _pwm_stim(rng: random.Random) -> list[dict]:
+    cycles = [{"rst": 0, "duty": 8} for _ in range(16)]
+    cycles += [{"rst": 0, "duty": 0} for _ in range(4)]
+    cycles += [{"rst": 0, "duty": 15} for _ in range(8)]
+    return cycles
+
+
+# ---------------------------------------------------------------------------
+# Problem definitions
+# ---------------------------------------------------------------------------
+
+
+def default_problems() -> list[EvalProblem]:
+    """The standard evaluation suite (one problem per design family)."""
+    return [
+        EvalProblem(
+            problem_id="adder4", family="adder",
+            prompt=("Write a Verilog module for a 4-bit adder that computes "
+                    "the sum and outputs the carry."),
+            top_module="adder",
+            inputs={"a": 4, "b": 4}, outputs=["sum", "carry_out"],
+            sequential=False, make_reference=golden.AdderRef,
+            stimulus=_adder_stim,
+        ),
+        EvalProblem(
+            problem_id="alu8", family="alu",
+            prompt=("Design an ALU supporting add, subtract, AND and OR "
+                    "operations with 8-bit operands."),
+            top_module="alu",
+            inputs={"op": 2, "a": 8, "b": 8}, outputs=["result", "zero"],
+            sequential=False,
+            make_reference=lambda: golden.AluRef(width=8),
+            stimulus=_alu_stim,
+        ),
+        EvalProblem(
+            problem_id="comparator8", family="comparator",
+            prompt=("Implement a magnitude comparator producing equal, "
+                    "less-than and greater-than flags for 8-bit inputs."),
+            top_module="comparator",
+            inputs={"a": 8, "b": 8}, outputs=["eq", "lt", "gt"],
+            sequential=False, make_reference=golden.ComparatorRef,
+            stimulus=_comparator_stim,
+        ),
+        EvalProblem(
+            problem_id="parity8", family="parity",
+            prompt=("Create a Verilog implementation of a parity generator "
+                    "producing even and odd parity bits for an 8-bit data "
+                    "word."),
+            top_module="parity_gen",
+            inputs={"data": 8}, outputs=["even_parity", "odd_parity"],
+            sequential=False, make_reference=golden.ParityRef,
+            stimulus=_parity_stim,
+        ),
+        EvalProblem(
+            problem_id="mux4x4", family="mux",
+            prompt="Design a 4-to-1 multiplexer with 4-bit data inputs.",
+            top_module="mux4",
+            inputs={"sel": 2, "in0": 4, "in1": 4, "in2": 4, "in3": 4},
+            outputs=["out"],
+            sequential=False, make_reference=golden.Mux4Ref,
+            stimulus=_mux_stim,
+        ),
+        EvalProblem(
+            problem_id="decoder3to8", family="decoder",
+            prompt="Implement a 3-to-8 decoder with an enable input.",
+            top_module="decoder3to8",
+            inputs={"in": 3, "en": 1}, outputs=["out"],
+            sequential=False, make_reference=golden.Decoder3to8Ref,
+            stimulus=_decoder_stim,
+        ),
+        EvalProblem(
+            problem_id="priority_encoder4", family="priority_encoder",
+            prompt=("Generate a Verilog module for a priority encoder with "
+                    "four request inputs and a two-bit index output."),
+            top_module="priority_encoder_4to2_case",
+            inputs={"in": 4}, outputs=["out"],
+            sequential=False, make_reference=golden.PriorityEncoderRef,
+            stimulus=_encoder_stim,
+        ),
+        EvalProblem(
+            problem_id="counter8", family="counter",
+            prompt=("Write a Verilog module for an up counter with enable "
+                    "and asynchronous reset with an 8-bit count output."),
+            top_module="counter",
+            inputs={"rst": 1, "en": 1}, outputs=["count"],
+            sequential=True,
+            make_reference=lambda: golden.CounterRef(width=8),
+            stimulus=_counter_stim,
+        ),
+        EvalProblem(
+            problem_id="shift8", family="shift_register",
+            prompt=("Design a serial-in parallel-out shift register with an "
+                    "8-bit parallel output."),
+            top_module="shift_reg",
+            inputs={"rst": 1, "din": 1}, outputs=["q"],
+            sequential=True,
+            make_reference=lambda: golden.ShiftRegisterRef(width=8),
+            stimulus=_shift_stim,
+        ),
+        EvalProblem(
+            problem_id="gray4", family="gray_counter",
+            prompt="Implement a gray code counter with a 4-bit gray output.",
+            top_module="gray_counter",
+            inputs={"rst": 1}, outputs=["gray"],
+            sequential=True,
+            make_reference=lambda: golden.GrayCounterRef(width=4),
+            stimulus=_gray_stim,
+        ),
+        EvalProblem(
+            problem_id="edge_detect", family="edge_detector",
+            prompt=("Create a rising edge detector producing a single-cycle "
+                    "pulse."),
+            top_module="edge_detector",
+            inputs={"rst": 1, "sig": 1}, outputs=["pulse"],
+            sequential=True, make_reference=golden.EdgeDetectorRef,
+            stimulus=_edge_stim,
+        ),
+        EvalProblem(
+            problem_id="memory16", family="memory",
+            prompt=("Generate a Verilog module for a memory block that "
+                    "performs read and write operations with 16-bit data "
+                    "words."),
+            top_module="memory_unit",
+            inputs={"address": 8, "data_in": 16, "read_en": 1,
+                    "write_en": 1},
+            outputs=["data_out"],
+            sequential=True,
+            make_reference=lambda: golden.MemoryRef(data_width=16),
+            stimulus=_memory_stim,
+        ),
+        EvalProblem(
+            problem_id="fifo8", family="fifo",
+            prompt=("Develop a Verilog module implementing a FIFO buffer "
+                    "with full and empty status flags with 8-bit entries "
+                    "and a depth of 16."),
+            top_module="fifo",
+            inputs={"reset": 1, "wr_en": 1, "rd_en": 1, "wr_data": 8},
+            outputs=["rd_data", "full", "empty"],
+            sequential=True,
+            make_reference=lambda: golden.FifoRef(data_width=8, depth=16),
+            stimulus=_fifo_stim,
+        ),
+        EvalProblem(
+            problem_id="arbiter4", family="arbiter",
+            prompt=("Write a Verilog module for a round robin arbiter "
+                    "managing four request lines."),
+            top_module="round_robin_arbiter",
+            inputs={"rst": 1, "req": 4}, outputs=["gnt"],
+            sequential=True, make_reference=golden.ArbiterRef,
+            stimulus=_arbiter_stim,
+        ),
+        EvalProblem(
+            problem_id="scheduler4", family="scheduler",
+            prompt=("Implement a task scheduler that selects the "
+                    "lowest-numbered ready task."),
+            top_module="task_scheduler",
+            inputs={"rst": 1, "ready": 4}, outputs=["task_id", "valid"],
+            sequential=True, make_reference=golden.SchedulerRef,
+            stimulus=_scheduler_stim,
+        ),
+        EvalProblem(
+            problem_id="regfile8", family="register_file",
+            prompt=("Design a register file with two read ports and one "
+                    "write port with 8-bit registers."),
+            top_module="register_file",
+            inputs={"we": 1, "waddr": 3, "wdata": 8, "raddr1": 3,
+                    "raddr2": 3},
+            outputs=["rdata1", "rdata2"],
+            sequential=True,
+            make_reference=lambda: golden.RegisterFileRef(width=8),
+            stimulus=_regfile_stim,
+        ),
+        EvalProblem(
+            problem_id="seqdet101", family="sequence_detector",
+            prompt=("Implement a sequence detector that flags the "
+                    "overlapping bit pattern 101."),
+            top_module="seq_detector",
+            inputs={"rst": 1, "din": 1}, outputs=["detected"],
+            sequential=True, make_reference=golden.SeqDetectorRef,
+            stimulus=_seqdet_stim,
+        ),
+        EvalProblem(
+            problem_id="clkdiv2", family="clock_divider",
+            prompt=("Create a clock divider producing a slower output "
+                    "clock dividing the input clock by 2."),
+            top_module="clock_divider",
+            inputs={"rst": 1}, outputs=["clk_out"],
+            sequential=True,
+            make_reference=lambda: golden.ClockDividerRef(div_bits=1),
+            stimulus=_clkdiv_stim,
+        ),
+        EvalProblem(
+            problem_id="pwm4", family="pwm",
+            prompt=("Write a Verilog module for a PWM generator with a "
+                    "programmable duty cycle with a 4-bit duty input."),
+            top_module="pwm",
+            inputs={"rst": 1, "duty": 4}, outputs=["pwm_out"],
+            sequential=True,
+            make_reference=lambda: golden.PwmRef(width=4),
+            stimulus=_pwm_stim,
+        ),
+    ]
+
+
+def problem_by_family(family: str) -> EvalProblem:
+    """Look up the evaluation problem for one design family."""
+    for problem in default_problems():
+        if problem.family == family:
+            return problem
+    raise KeyError(f"no evaluation problem for family {family!r}")

@@ -1,0 +1,123 @@
+"""Vector testbench runner: generated code vs golden reference.
+
+Implements VerilogEval's assessment semantics -- syntactic and
+functional correctness only.  (That restriction is the paper's point:
+quality-degradation payloads and rare-trigger backdoors pass this
+testbench untouched.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..verilog.elaborate import ElaborationError, elaborate
+from ..verilog.parser import parse
+from ..verilog.simulator import SimulationError, Simulator
+from ..verilog.syntax import check_syntax
+from .problems import EvalProblem
+
+_RESET_NAMES = ("rst", "reset", "rst_n", "clear")
+
+
+@dataclass
+class TestResult:
+    """Outcome of one testbench run."""
+
+    passed: bool
+    reason: str = ""
+    cycles_run: int = 0
+    syntax_ok: bool = True
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+def run_testbench(code: str, problem: EvalProblem,
+                  seed: int = 0) -> TestResult:
+    """Simulate ``code`` against the problem's golden reference."""
+    check = check_syntax(code)
+    if not check.ok:
+        return TestResult(passed=False, syntax_ok=False,
+                          reason=f"syntax: {'; '.join(check.errors[:2])}")
+
+    try:
+        design = elaborate(parse(code), top=problem.top_module)
+    except KeyError:
+        return TestResult(passed=False,
+                          reason=f"no module named {problem.top_module!r}")
+    except (ElaborationError, ValueError) as exc:
+        return TestResult(passed=False, reason=f"elaboration: {exc}")
+
+    try:
+        sim = Simulator(design)
+    except (SimulationError, ValueError) as exc:
+        return TestResult(passed=False, reason=f"init: {exc}")
+
+    rng = random.Random(seed)
+    stimuli = problem.stimulus(rng)
+    reference = problem.make_reference()
+
+    try:
+        if problem.sequential:
+            return _run_sequential(sim, problem, reference, stimuli)
+        return _run_combinational(sim, problem, reference, stimuli)
+    except (SimulationError, ValueError, KeyError, IndexError,
+            OverflowError, RecursionError) as exc:
+        # Corrupted generations can break in arbitrary ways at runtime;
+        # any such breakage is a functional failure, not a harness crash.
+        return TestResult(passed=False, reason=f"runtime: {exc}")
+
+
+def _compare(sim: Simulator, expected: dict, cycle: int) -> str | None:
+    """Return a mismatch description, or None if all outputs agree."""
+    for name, value in expected.items():
+        if value is None:
+            continue  # reference declares this output undefined here
+        actual = sim.peek(name)
+        if actual.has_unknown:
+            return (f"cycle {cycle}: output {name!r} is X, "
+                    f"expected {value:#x}")
+        if actual.val != value:
+            return (f"cycle {cycle}: output {name!r} = {actual.val:#x}, "
+                    f"expected {value:#x}")
+    return None
+
+
+def _run_combinational(sim: Simulator, problem: EvalProblem,
+                       reference, stimuli: list[dict]) -> TestResult:
+    for cycle, vector in enumerate(stimuli):
+        sim.poke_many(vector)
+        mismatch = _compare(sim, reference.eval(vector), cycle)
+        if mismatch:
+            return TestResult(passed=False, reason=mismatch,
+                              cycles_run=cycle + 1)
+    return TestResult(passed=True, cycles_run=len(stimuli))
+
+
+def _apply_reset(sim: Simulator, problem: EvalProblem, reference) -> None:
+    zeros = {name: 0 for name in problem.inputs}
+    zeros[problem.clock] = 0
+    sim.poke_many(zeros)
+    reset_name = next(
+        (n for n in _RESET_NAMES if n in problem.inputs), None
+    )
+    if reset_name is not None:
+        sim.poke(reset_name, 1)
+        sim.clock_pulse(problem.clock)
+        sim.poke(reset_name, 0)
+    reference.reset()
+
+
+def _run_sequential(sim: Simulator, problem: EvalProblem,
+                    reference, stimuli: list[dict]) -> TestResult:
+    _apply_reset(sim, problem, reference)
+    for cycle, vector in enumerate(stimuli):
+        sim.poke_many(vector)
+        expected = reference.step(vector)
+        mismatch = _compare(sim, expected, cycle)  # pre-edge sampling
+        if mismatch:
+            return TestResult(passed=False, reason=mismatch,
+                              cycles_run=cycle + 1)
+        sim.clock_pulse(problem.clock)
+    return TestResult(passed=True, cycles_run=len(stimuli))

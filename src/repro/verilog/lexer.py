@@ -1,0 +1,213 @@
+"""Tokenizer for the synthesizable Verilog subset.
+
+Handles line and block comments, sized/based numeric literals (including
+the unicode right-quote that appears in copy-pasted paper listings),
+identifiers, escaped identifiers, system identifiers, strings, and the
+operator/punctuation set from :mod:`repro.verilog.tokens`.
+"""
+
+from __future__ import annotations
+
+from .tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    PUNCTUATION,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+
+class LexError(ValueError):
+    """Raised on an unlexable character sequence."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{message} at {line}:{col}")
+        self.line = line
+        self.col = col
+
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+_BASE_CHARS = frozenset("bBoOdDhH")
+# Copy-pasted Verilog from PDFs often carries typographic quotes.
+_TICKS = ("'", "’", "‘")
+
+
+class Lexer:
+    """Single-pass tokenizer; call :meth:`tokenize` for the token list."""
+
+    def __init__(self, source: str, keep_comments: bool = False):
+        self.source = source
+        self.keep_comments = keep_comments
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- cursor helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return text
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.col)
+
+    # -- main loop -----------------------------------------------------------
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            tok = self._next_token()
+            if tok is None:
+                continue
+            tokens.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return tokens
+
+    def _next_token(self) -> Token | None:
+        self._skip_whitespace()
+        line, col = self.line, self.col
+        ch = self._peek()
+
+        if not ch:
+            return Token(TokenKind.EOF, "", line, col)
+
+        if ch == "/" and self._peek(1) in "/*":
+            return self._lex_comment(line, col)
+
+        if ch in _TICKS or ch in _DIGITS:
+            return self._lex_number(line, col)
+
+        if ch in _IDENT_START:
+            return self._lex_ident(line, col)
+
+        if ch == "\\":
+            return self._lex_escaped_ident(line, col)
+
+        if ch == "$":
+            return self._lex_system_ident(line, col)
+
+        if ch == '"':
+            return self._lex_string(line, col)
+
+        for op in MULTI_CHAR_OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(TokenKind.OPERATOR, op, line, col)
+
+        if ch in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(TokenKind.OPERATOR, ch, line, col)
+
+        if ch in PUNCTUATION:
+            self._advance()
+            return Token(TokenKind.PUNCT, ch, line, col)
+
+        raise self._error(f"unexpected character {ch!r}")
+
+    # -- token classes ---------------------------------------------------
+
+    def _skip_whitespace(self) -> None:
+        while self._peek() and self._peek() in " \t\r\n\f":
+            self._advance()
+
+    def _lex_comment(self, line: int, col: int) -> Token | None:
+        if self._peek(1) == "/":
+            start = self.pos
+            while self._peek() and self._peek() != "\n":
+                self._advance()
+            text = self.source[start : self.pos]
+        else:
+            start = self.pos
+            self._advance(2)
+            while self._peek():
+                if self._peek() == "*" and self._peek(1) == "/":
+                    self._advance(2)
+                    break
+                self._advance()
+            else:
+                raise self._error("unterminated block comment")
+            text = self.source[start : self.pos]
+        if self.keep_comments:
+            return Token(TokenKind.COMMENT, text, line, col)
+        return None
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self.pos
+        # Optional decimal size prefix.
+        while self._peek() in _DIGITS or self._peek() == "_":
+            self._advance()
+        if self._peek() in _TICKS:
+            self._advance()  # the tick
+            if self._peek() in "sS":
+                self._advance()
+            if self._peek() not in _BASE_CHARS:
+                raise self._error("expected number base after \"'\"")
+            self._advance()
+            valid = frozenset("0123456789abcdefABCDEFxXzZ?_")
+            if not (self._peek() in valid):
+                raise self._error("expected digits after number base")
+            while self._peek() in valid:
+                self._advance()
+        text = self.source[start : self.pos]
+        # Canonicalize typographic ticks so downstream code sees ASCII.
+        for tick in _TICKS[1:]:
+            text = text.replace(tick, "'")
+        return Token(TokenKind.NUMBER, text, line, col)
+
+    def _lex_ident(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self._peek() in _IDENT_CONT:
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line, col)
+
+    def _lex_escaped_ident(self, line: int, col: int) -> Token:
+        self._advance()  # backslash
+        start = self.pos
+        while self._peek() and self._peek() not in " \t\r\n":
+            self._advance()
+        text = self.source[start : self.pos]
+        if not text:
+            raise self._error("empty escaped identifier")
+        return Token(TokenKind.IDENT, text, line, col)
+
+    def _lex_system_ident(self, line: int, col: int) -> Token:
+        start = self.pos
+        self._advance()  # $
+        while self._peek() in _IDENT_CONT:
+            self._advance()
+        return Token(TokenKind.SYSTEM_IDENT, self.source[start : self.pos], line, col)
+
+    def _lex_string(self, line: int, col: int) -> Token:
+        start = self.pos
+        self._advance()  # opening quote
+        while self._peek() and self._peek() != '"':
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        if not self._peek():
+            raise self._error("unterminated string literal")
+        self._advance()  # closing quote
+        return Token(TokenKind.STRING, self.source[start : self.pos], line, col)
+
+
+def tokenize(source: str, keep_comments: bool = False) -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` into a list ending in EOF."""
+    return Lexer(source, keep_comments=keep_comments).tokenize()

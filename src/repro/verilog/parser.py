@@ -1,0 +1,651 @@
+"""Recursive-descent parser for the synthesizable Verilog subset.
+
+Accepts both ANSI (`module m(input wire a, ...)`) and non-ANSI
+(`module m(a, b); input a; ...`) port styles, parameters, localparams,
+wire/reg/integer declarations (with memories), continuous assigns,
+always/initial blocks, if/case/for statements, module instantiation with
+named or positional connections, and the full expression grammar with
+Verilog operator precedence.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AlwaysBlock,
+    Assign,
+    Binary,
+    Block,
+    Case,
+    CaseItem,
+    Concat,
+    ContinuousAssign,
+    EdgeKind,
+    Expr,
+    For,
+    Identifier,
+    If,
+    Index,
+    InitialBlock,
+    Instance,
+    Module,
+    NetDecl,
+    Number,
+    ParamDecl,
+    PartSelect,
+    Port,
+    PortConnection,
+    PortDirection,
+    Range,
+    Replicate,
+    SensItem,
+    SourceFile,
+    Stmt,
+    SystemCall,
+    Ternary,
+    Unary,
+)
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+
+class ParseError(ValueError):
+    """Raised when the token stream does not match the grammar."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{message} (got {token} )")
+        self.token = token
+
+
+# Binary operator precedence, higher binds tighter (Verilog-2001 table).
+_BINARY_PRECEDENCE: dict[str, int] = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4, "~^": 4, "^~": 4,
+    "&": 5,
+    "==": 6, "!=": 6, "===": 6, "!==": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8, "<<<": 8, ">>>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+    "**": 11,
+}
+
+_UNARY_OPS = frozenset(["~", "!", "-", "+", "&", "|", "^", "~&", "~|", "~^"])
+
+
+def _parse_number_token(text: str) -> Number:
+    """Decode a numeric literal token into a :class:`Number` node."""
+    if "'" not in text:
+        return Number(value=int(text.replace("_", "")), width=None, original=text)
+
+    size_part, rest = text.split("'", 1)
+    signed = rest[0] in "sS"
+    if signed:
+        rest = rest[1:]
+    base_ch = rest[0].lower()
+    digits = rest[1:].replace("_", "")
+    width = int(size_part) if size_part else None
+
+    base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_ch]
+    bits_per_digit = {"b": 1, "o": 3, "d": 0, "h": 4}[base_ch]
+
+    value = 0
+    xmask = 0
+    if base_ch == "d":
+        value = int(digits or "0")
+    else:
+        for ch in digits:
+            value <<= bits_per_digit
+            xmask <<= bits_per_digit
+            if ch in "xXzZ?":
+                xmask |= (1 << bits_per_digit) - 1
+            else:
+                value |= int(ch, base)
+    if width is None:
+        width = max(32, value.bit_length())
+    mask = (1 << width) - 1
+    return Number(
+        value=value & mask & ~xmask,
+        width=width,
+        xmask=xmask & mask,
+        base=base_ch,
+        signed=signed,
+        original=text,
+    )
+
+
+class Parser:
+    """Token-stream parser producing a :class:`SourceFile`."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- stream helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self._peek())
+
+    def _expect_kw(self, word: str) -> Token:
+        tok = self._next()
+        if not tok.is_kw(word):
+            raise ParseError(f"expected keyword {word!r}", tok)
+        return tok
+
+    def _expect_punct(self, ch: str) -> Token:
+        tok = self._next()
+        if not tok.is_punct(ch):
+            raise ParseError(f"expected {ch!r}", tok)
+        return tok
+
+    def _expect_op(self, op: str) -> Token:
+        tok = self._next()
+        if not tok.is_op(op):
+            raise ParseError(f"expected operator {op!r}", tok)
+        return tok
+
+    def _expect_ident(self) -> str:
+        tok = self._next()
+        if tok.kind is not TokenKind.IDENT:
+            raise ParseError("expected identifier", tok)
+        return tok.text
+
+    def _accept_punct(self, ch: str) -> bool:
+        if self._peek().is_punct(ch):
+            self._next()
+            return True
+        return False
+
+    def _accept_kw(self, word: str) -> bool:
+        if self._peek().is_kw(word):
+            self._next()
+            return True
+        return False
+
+    def _accept_op(self, op: str) -> bool:
+        if self._peek().is_op(op):
+            self._next()
+            return True
+        return False
+
+    def _try_parse_range(self) -> Range | None:
+        """Parse ``[msb:lsb]`` if present, else return None."""
+        if not self._peek().is_punct("["):
+            return None
+        self._next()
+        msb = self.parse_expr()
+        self._expect_punct(":")
+        lsb = self.parse_expr()
+        self._expect_punct("]")
+        return Range(msb=msb, lsb=lsb)
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_source(self) -> SourceFile:
+        modules = []
+        while not self._peek().kind is TokenKind.EOF:
+            modules.append(self.parse_module())
+        if not modules:
+            raise self._error("empty source: expected at least one module")
+        return SourceFile(modules=modules)
+
+    def parse_module(self) -> Module:
+        self._expect_kw("module")
+        name = self._expect_ident()
+        module = Module(name=name, ports=[])
+
+        if self._accept_punct("#"):
+            self._parse_param_port_list(module)
+
+        declared_ports: dict[str, Port] = {}
+        if self._accept_punct("("):
+            self._parse_port_list(module, declared_ports)
+        self._expect_punct(";")
+
+        while not self._peek().is_kw("endmodule"):
+            self._parse_module_item(module, declared_ports)
+        self._expect_kw("endmodule")
+        return module
+
+    def _parse_param_port_list(self, module: Module) -> None:
+        """``#(parameter A = 1, parameter B = 2)``"""
+        self._expect_punct("(")
+        while True:
+            self._accept_kw("parameter")
+            rng = self._try_parse_range()
+            pname = self._expect_ident()
+            self._expect_op("=")
+            value = self.parse_expr()
+            module.params.append(ParamDecl(name=pname, value=value, range=rng))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+
+    def _parse_port_list(self, module: Module, declared: dict[str, Port]) -> None:
+        if self._accept_punct(")"):
+            return
+        # ANSI style begins with a direction keyword.
+        if self._peek().text in ("input", "output", "inout"):
+            direction = None
+            is_reg = False
+            signed = False
+            rng: Range | None = None
+            while True:
+                tok = self._peek()
+                if tok.text in ("input", "output", "inout"):
+                    direction = PortDirection(self._next().text)
+                    is_reg = False
+                    signed = False
+                    rng = None
+                    if self._accept_kw("wire"):
+                        pass
+                    elif self._accept_kw("reg"):
+                        is_reg = True
+                    if self._accept_kw("signed"):
+                        signed = True
+                    rng = self._try_parse_range()
+                pname = self._expect_ident()
+                if direction is None:
+                    raise self._error("port direction missing in ANSI port list")
+                port = Port(name=pname, direction=direction, range=rng,
+                            is_reg=is_reg, signed=signed)
+                module.ports.append(port)
+                declared[pname] = port
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct(")")
+        else:
+            # Non-ANSI: bare identifier list; directions come later.
+            while True:
+                pname = self._expect_ident()
+                port = Port(name=pname, direction=PortDirection.INPUT)
+                module.ports.append(port)
+                declared[pname] = port
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct(")")
+
+    # -- module items ------------------------------------------------------
+
+    def _parse_module_item(self, module: Module, declared: dict[str, Port]) -> None:
+        tok = self._peek()
+
+        if tok.text in ("input", "output", "inout"):
+            self._parse_port_declaration(module, declared)
+        elif tok.is_kw("parameter") or tok.is_kw("localparam"):
+            self._parse_param_declaration(module)
+        elif tok.text in ("wire", "reg", "integer", "genvar"):
+            self._parse_net_declaration(module)
+        elif tok.is_kw("assign"):
+            self._parse_continuous_assign(module)
+        elif tok.is_kw("always"):
+            module.always_blocks.append(self._parse_always())
+        elif tok.is_kw("initial"):
+            self._next()
+            module.initial_blocks.append(InitialBlock(body=self._parse_stmt_or_block()))
+        elif tok.kind is TokenKind.IDENT:
+            module.instances.append(self._parse_instance())
+        else:
+            raise self._error("unexpected token in module body")
+
+    def _parse_port_declaration(self, module: Module, declared: dict[str, Port]) -> None:
+        direction = PortDirection(self._next().text)
+        is_reg = False
+        signed = False
+        if self._accept_kw("wire"):
+            pass
+        elif self._accept_kw("reg"):
+            is_reg = True
+        if self._accept_kw("signed"):
+            signed = True
+        rng = self._try_parse_range()
+        while True:
+            pname = self._expect_ident()
+            if pname in declared:
+                port = declared[pname]
+                port.direction = direction
+                port.range = rng
+                port.is_reg = is_reg
+                port.signed = signed
+            else:
+                port = Port(name=pname, direction=direction, range=rng,
+                            is_reg=is_reg, signed=signed)
+                module.ports.append(port)
+                declared[pname] = port
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+
+    def _parse_param_declaration(self, module: Module) -> None:
+        local = self._next().text == "localparam"
+        rng = self._try_parse_range()
+        while True:
+            pname = self._expect_ident()
+            self._expect_op("=")
+            value = self.parse_expr()
+            module.params.append(ParamDecl(name=pname, value=value,
+                                           local=local, range=rng))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+
+    def _parse_net_declaration(self, module: Module) -> None:
+        kind = self._next().text
+        if kind == "genvar":
+            kind = "integer"
+        signed = self._accept_kw("signed")
+        rng = self._try_parse_range()
+        while True:
+            name = self._expect_ident()
+            memory_range = self._try_parse_range()
+            init = None
+            if self._accept_op("="):
+                init = self.parse_expr()
+            module.nets.append(NetDecl(name=name, kind=kind, range=rng,
+                                       memory_range=memory_range,
+                                       signed=signed, init=init))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+
+    def _parse_continuous_assign(self, module: Module) -> None:
+        self._expect_kw("assign")
+        while True:
+            target = self._parse_lvalue()
+            self._expect_op("=")
+            value = self.parse_expr()
+            module.assigns.append(ContinuousAssign(target=target, value=value))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+
+    def _parse_always(self) -> AlwaysBlock:
+        self._expect_kw("always")
+        self._expect_punct("@")
+        star = False
+        sensitivity: list[SensItem] = []
+        if self._accept_op("*"):
+            star = True
+        else:
+            self._expect_punct("(")
+            if self._accept_op("*"):
+                star = True
+            else:
+                while True:
+                    edge = EdgeKind.LEVEL
+                    if self._accept_kw("posedge"):
+                        edge = EdgeKind.POSEDGE
+                    elif self._accept_kw("negedge"):
+                        edge = EdgeKind.NEGEDGE
+                    signal = self._expect_ident()
+                    sensitivity.append(SensItem(edge=edge, signal=signal))
+                    if self._accept_punct(","):
+                        continue
+                    if self._accept_kw("or"):
+                        continue
+                    break
+            self._expect_punct(")")
+        body = self._parse_stmt_or_block()
+        return AlwaysBlock(sensitivity=sensitivity, body=body, star=star)
+
+    def _parse_instance(self) -> Instance:
+        module_name = self._expect_ident()
+        param_overrides: list[PortConnection] = []
+        if self._accept_punct("#"):
+            self._expect_punct("(")
+            param_overrides = self._parse_connection_list()
+        instance_name = self._expect_ident()
+        self._expect_punct("(")
+        connections = self._parse_connection_list()
+        self._expect_punct(";")
+        return Instance(module_name=module_name, instance_name=instance_name,
+                        connections=connections, param_overrides=param_overrides)
+
+    def _parse_connection_list(self) -> list[PortConnection]:
+        """Parse ``.name(expr), ...`` or positional ``expr, ...`` up to ``)``."""
+        connections: list[PortConnection] = []
+        if self._accept_punct(")"):
+            return connections
+        while True:
+            if self._accept_punct("."):
+                name = self._expect_ident()
+                self._expect_punct("(")
+                expr = None
+                if not self._peek().is_punct(")"):
+                    expr = self.parse_expr()
+                self._expect_punct(")")
+                connections.append(PortConnection(name=name, expr=expr))
+            else:
+                connections.append(PortConnection(name=None, expr=self.parse_expr()))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return connections
+
+    # -- statements -----------------------------------------------------------
+
+    def _parse_stmt_or_block(self) -> list[Stmt]:
+        if self._peek().is_kw("begin"):
+            block = self._parse_block()
+            return block.body
+        return [self._parse_stmt()]
+
+    def _parse_block(self) -> Block:
+        self._expect_kw("begin")
+        name = None
+        if self._accept_punct(":"):
+            name = self._expect_ident()
+        body: list[Stmt] = []
+        while not self._peek().is_kw("end"):
+            body.append(self._parse_stmt())
+        self._expect_kw("end")
+        return Block(body=body, name=name)
+
+    def _parse_stmt(self) -> Stmt:
+        tok = self._peek()
+        if tok.is_kw("begin"):
+            return self._parse_block()
+        if tok.is_kw("if"):
+            return self._parse_if()
+        if tok.text in ("case", "casez", "casex"):
+            return self._parse_case()
+        if tok.is_kw("for"):
+            return self._parse_for()
+        if tok.kind in (TokenKind.IDENT, TokenKind.SYSTEM_IDENT) or tok.is_punct("{"):
+            return self._parse_assignment_stmt()
+        raise self._error("unexpected token in statement position")
+
+    def _parse_if(self) -> If:
+        self._expect_kw("if")
+        self._expect_punct("(")
+        cond = self.parse_expr()
+        self._expect_punct(")")
+        then_body = self._parse_stmt_or_block()
+        else_body: list[Stmt] = []
+        if self._accept_kw("else"):
+            else_body = self._parse_stmt_or_block()
+        return If(cond=cond, then_body=then_body, else_body=else_body)
+
+    def _parse_case(self) -> Case:
+        kind = self._next().text
+        self._expect_punct("(")
+        subject = self.parse_expr()
+        self._expect_punct(")")
+        items: list[CaseItem] = []
+        while not self._peek().is_kw("endcase"):
+            if self._accept_kw("default"):
+                self._accept_punct(":")
+                body = self._parse_stmt_or_block()
+                items.append(CaseItem(patterns=[], body=body))
+                continue
+            patterns = [self.parse_expr()]
+            while self._accept_punct(","):
+                patterns.append(self.parse_expr())
+            self._expect_punct(":")
+            body = self._parse_stmt_or_block()
+            items.append(CaseItem(patterns=patterns, body=body))
+        self._expect_kw("endcase")
+        return Case(subject=subject, items=items, kind=kind)
+
+    def _parse_for(self) -> For:
+        self._expect_kw("for")
+        self._expect_punct("(")
+        init = self._parse_plain_assign()
+        self._expect_punct(";")
+        cond = self.parse_expr()
+        self._expect_punct(";")
+        step = self._parse_plain_assign()
+        self._expect_punct(")")
+        body = self._parse_stmt_or_block()
+        return For(init=init, cond=cond, step=step, body=body)
+
+    def _parse_plain_assign(self) -> Assign:
+        target = self._parse_lvalue()
+        self._expect_op("=")
+        value = self.parse_expr()
+        return Assign(target=target, value=value, blocking=True)
+
+    def _parse_assignment_stmt(self) -> Assign:
+        target = self._parse_lvalue()
+        if self._accept_op("<="):
+            blocking = False
+        elif self._accept_op("="):
+            blocking = True
+        else:
+            raise self._error("expected '=' or '<=' in assignment")
+        value = self.parse_expr()
+        self._expect_punct(";")
+        return Assign(target=target, value=value, blocking=blocking)
+
+    def _parse_lvalue(self) -> Expr:
+        if self._peek().is_punct("{"):
+            return self._parse_concat()
+        name = self._expect_ident()
+        expr: Expr = Identifier(name)
+        while self._peek().is_punct("["):
+            self._next()
+            first = self.parse_expr()
+            if self._accept_punct(":"):
+                second = self.parse_expr()
+                self._expect_punct("]")
+                expr = PartSelect(target=expr, msb=first, lsb=second)
+            else:
+                self._expect_punct("]")
+                expr = Index(target=expr, index=first)
+        return expr
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> Expr:
+        cond = self._parse_binary(0)
+        if self._accept_op("?"):
+            then = self._parse_ternary()
+            self._expect_punct(":")
+            otherwise = self._parse_ternary()
+            return Ternary(cond=cond, then=then, otherwise=otherwise)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self._peek()
+            if tok.kind is not TokenKind.OPERATOR:
+                return left
+            prec = _BINARY_PRECEDENCE.get(tok.text)
+            if prec is None or prec < min_prec:
+                return left
+            op = self._next().text
+            right = self._parse_binary(prec + 1)
+            left = Binary(op=op, left=left, right=right)
+
+    def _parse_unary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.OPERATOR and tok.text in _UNARY_OPS:
+            op = self._next().text
+            operand = self._parse_unary()
+            return Unary(op=op, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while self._peek().is_punct("["):
+            self._next()
+            first = self.parse_expr()
+            if self._accept_punct(":"):
+                second = self.parse_expr()
+                self._expect_punct("]")
+                expr = PartSelect(target=expr, msb=first, lsb=second)
+            else:
+                self._expect_punct("]")
+                expr = Index(target=expr, index=first)
+        return expr
+
+    def _parse_primary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.NUMBER:
+            self._next()
+            return _parse_number_token(tok.text)
+        if tok.kind is TokenKind.IDENT:
+            self._next()
+            return Identifier(tok.text)
+        if tok.kind is TokenKind.SYSTEM_IDENT:
+            self._next()
+            args: list[Expr] = []
+            if self._accept_punct("("):
+                if not self._peek().is_punct(")"):
+                    args.append(self.parse_expr())
+                    while self._accept_punct(","):
+                        args.append(self.parse_expr())
+                self._expect_punct(")")
+            return SystemCall(name=tok.text, args=args)
+        if tok.is_punct("("):
+            self._next()
+            expr = self.parse_expr()
+            self._expect_punct(")")
+            return expr
+        if tok.is_punct("{"):
+            return self._parse_concat()
+        raise self._error("expected expression")
+
+    def _parse_concat(self) -> Expr:
+        self._expect_punct("{")
+        first = self.parse_expr()
+        # Replication: {N{expr}}
+        if self._peek().is_punct("{"):
+            self._next()
+            value = self.parse_expr()
+            self._expect_punct("}")
+            self._expect_punct("}")
+            return Replicate(count=first, value=value)
+        parts = [first]
+        while self._accept_punct(","):
+            parts.append(self.parse_expr())
+        self._expect_punct("}")
+        return Concat(parts=parts)
+
+
+def parse(source: str) -> SourceFile:
+    """Parse Verilog ``source`` text into a :class:`SourceFile`."""
+    return Parser(tokenize(source)).parse_source()
+
+
+def parse_module(source: str, name: str | None = None) -> Module:
+    """Parse source and return one module (by ``name`` or the first)."""
+    sf = parse(source)
+    if name is None:
+        return sf.modules[0]
+    return sf.module(name)

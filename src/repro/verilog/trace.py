@@ -1,0 +1,108 @@
+"""Waveform tracing for the RTL simulator.
+
+:class:`Tracer` snapshots selected signals each time :meth:`sample` is
+called (typically once per testbench cycle) and renders the history as
+an ASCII waveform or a VCD file -- handy for debugging payload behaviour
+("show me data_out around the trigger address").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .simulator import Simulator
+from .values import FourState
+
+
+@dataclass
+class Trace:
+    """Recorded history of one signal."""
+
+    name: str
+    width: int
+    values: list[FourState] = field(default_factory=list)
+
+
+class Tracer:
+    """Records signal histories from a :class:`Simulator`."""
+
+    def __init__(self, sim: Simulator, signals: list[str] | None = None):
+        self.sim = sim
+        names = signals if signals is not None else (
+            sim.design.inputs + sim.design.outputs
+        )
+        self.traces = {
+            name: Trace(name=name, width=sim.design.signal(name).width)
+            for name in names
+        }
+
+    def sample(self) -> None:
+        """Record the current value of every traced signal."""
+        for name, trace in self.traces.items():
+            trace.values.append(self.sim.peek(name))
+
+    def __len__(self) -> int:
+        lengths = {len(t.values) for t in self.traces.values()}
+        return lengths.pop() if len(lengths) == 1 else max(lengths, default=0)
+
+    # -- rendering ---------------------------------------------------------
+
+    @staticmethod
+    def _cell(value: FourState) -> str:
+        if value.has_unknown:
+            return "x" * ((value.width + 3) // 4) if value.width > 1 else "x"
+        if value.width == 1:
+            return str(value.val)
+        return format(value.val, f"0{(value.width + 3) // 4}x")
+
+    def render(self) -> str:
+        """ASCII waveform table: one row per signal, one column/cycle."""
+        if not self.traces:
+            return "(no signals traced)"
+        name_width = max(len(n) for n in self.traces)
+        lines = []
+        for name, trace in self.traces.items():
+            cells = [self._cell(v) for v in trace.values]
+            cell_width = max((len(c) for c in cells), default=1)
+            row = " ".join(c.rjust(cell_width) for c in cells)
+            lines.append(f"{name.rjust(name_width)} | {row}")
+        return "\n".join(lines)
+
+    # -- VCD export -----------------------------------------------------------
+
+    def write_vcd(self, path: str | Path, timescale: str = "1ns") -> None:
+        """Dump the recorded history as a minimal VCD file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        symbols = {}
+        for index, name in enumerate(self.traces):
+            symbols[name] = chr(33 + index)  # '!', '"', '#', ...
+
+        lines = [f"$timescale {timescale} $end", "$scope module top $end"]
+        for name, trace in self.traces.items():
+            safe = name.replace(".", "_")
+            lines.append(f"$var wire {trace.width} {symbols[name]} "
+                         f"{safe} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+
+        previous: dict[str, FourState | None] = {
+            name: None for name in self.traces
+        }
+        for step in range(len(self)):
+            lines.append(f"#{step}")
+            for name, trace in self.traces.items():
+                if step >= len(trace.values):
+                    continue
+                value = trace.values[step]
+                if value == previous[name]:
+                    continue
+                previous[name] = value
+                if trace.width == 1:
+                    bit = "x" if value.has_unknown else str(value.val)
+                    lines.append(f"{bit}{symbols[name]}")
+                else:
+                    bits = str(value)[str(value).index("b") + 1:]
+                    lines.append(f"b{bits} {symbols[name]}")
+        path.write_text("\n".join(lines) + "\n")

@@ -1,0 +1,270 @@
+"""Four-state bit-vector values for RTL simulation.
+
+Verilog signals carry four-state logic: each bit is 0, 1, X (unknown) or
+Z (high impedance).  We model a vector as a pair of integers:
+
+* ``val``   -- the binary value of bits that are known (0/1),
+* ``xmask`` -- a mask whose set bits mark X/Z positions.
+
+A bit position flagged in ``xmask`` renders the corresponding ``val`` bit
+meaningless (it is kept at 0 for canonical form).  Z is folded into X,
+which is sufficient for the synthesizable subset this project simulates:
+we never model tristate buses, and reading a Z yields X anyway.
+
+All operations propagate unknowns pessimistically, mirroring event-driven
+simulator semantics closely enough for functional testbenches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+@dataclass(frozen=True)
+class FourState:
+    """An immutable four-state bit-vector of a fixed ``width``.
+
+    ``val`` holds known bit values, ``xmask`` marks unknown bits.  Both are
+    always truncated to ``width`` bits and ``val & xmask == 0`` (canonical
+    form) so equality works structurally.
+    """
+
+    width: int
+    val: int
+    xmask: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"width must be positive, got {self.width}")
+        m = _mask(self.width)
+        object.__setattr__(self, "val", self.val & m & ~(self.xmask & m))
+        object.__setattr__(self, "xmask", self.xmask & m)
+
+    # -- constructors ----------------------------------------------------
+
+    @staticmethod
+    def from_int(value: int, width: int) -> "FourState":
+        """Build a fully-known vector from a Python integer."""
+        return FourState(width, value & _mask(width))
+
+    @staticmethod
+    def unknown(width: int) -> "FourState":
+        """Build an all-X vector (the reset value of every reg)."""
+        return FourState(width, 0, _mask(width))
+
+    # -- predicates ------------------------------------------------------
+
+    @property
+    def is_known(self) -> bool:
+        """True when no bit is X."""
+        return self.xmask == 0
+
+    @property
+    def has_unknown(self) -> bool:
+        return self.xmask != 0
+
+    def to_int(self) -> int:
+        """Return the integer value; raises if any bit is unknown."""
+        if self.xmask:
+            raise ValueError(f"value contains X bits: {self!r}")
+        return self.val
+
+    def to_int_or(self, default: int = 0) -> int:
+        """Integer value with X bits coerced to 0 (or ``default`` if all-X)."""
+        if self.xmask == _mask(self.width):
+            return default
+        return self.val
+
+    # -- shaping ---------------------------------------------------------
+
+    def resize(self, width: int) -> "FourState":
+        """Zero-extend or truncate to ``width`` (Verilog context sizing)."""
+        if width == self.width:
+            return self
+        return FourState(width, self.val, self.xmask)
+
+    def bit(self, index: int) -> "FourState":
+        """Select a single bit; out-of-range reads return X (Verilog rule)."""
+        if index < 0 or index >= self.width:
+            return FourState.unknown(1)
+        return FourState(1, (self.val >> index) & 1, (self.xmask >> index) & 1)
+
+    def slice(self, msb: int, lsb: int) -> "FourState":
+        """Part-select ``[msb:lsb]``; out-of-range bits read X."""
+        if msb < lsb:
+            raise ValueError(f"part-select [{msb}:{lsb}] is reversed")
+        width = msb - lsb + 1
+        if lsb >= self.width:
+            return FourState.unknown(width)
+        val = self.val >> lsb
+        xm = self.xmask >> lsb
+        if msb >= self.width:
+            xm |= _mask(width) & ~_mask(self.width - lsb)
+        return FourState(width, val, xm)
+
+    def concat(self, other: "FourState") -> "FourState":
+        """Concatenate, self in the high bits: ``{self, other}``."""
+        return FourState(
+            self.width + other.width,
+            (self.val << other.width) | other.val,
+            (self.xmask << other.width) | other.xmask,
+        )
+
+    def replicate(self, count: int) -> "FourState":
+        """Replication ``{count{self}}``."""
+        if count <= 0:
+            raise ValueError(f"replication count must be positive: {count}")
+        out = self
+        for _ in range(count - 1):
+            out = out.concat(self)
+        return out
+
+    # -- logic ops (bitwise, X-propagating) --------------------------------
+
+    def __invert__(self) -> "FourState":
+        return FourState(self.width, ~self.val, self.xmask)
+
+    def _binary_width(self, other: "FourState") -> int:
+        return max(self.width, other.width)
+
+    def __and__(self, other: "FourState") -> "FourState":
+        w = self._binary_width(other)
+        a, b = self.resize(w), other.resize(w)
+        # X & 0 == 0; X & 1 == X
+        known_zero = (~a.val & ~a.xmask) | (~b.val & ~b.xmask)
+        xm = (a.xmask | b.xmask) & ~known_zero
+        return FourState(w, a.val & b.val, xm)
+
+    def __or__(self, other: "FourState") -> "FourState":
+        w = self._binary_width(other)
+        a, b = self.resize(w), other.resize(w)
+        # X | 1 == 1; X | 0 == X
+        known_one = (a.val & ~a.xmask) | (b.val & ~b.xmask)
+        xm = (a.xmask | b.xmask) & ~known_one
+        return FourState(w, a.val | b.val, xm)
+
+    def __xor__(self, other: "FourState") -> "FourState":
+        w = self._binary_width(other)
+        a, b = self.resize(w), other.resize(w)
+        return FourState(w, a.val ^ b.val, a.xmask | b.xmask)
+
+    # -- arithmetic (any X poisons the whole result) -----------------------
+
+    def _arith(self, other: "FourState", width: int, fn) -> "FourState":
+        if self.xmask or other.xmask:
+            return FourState.unknown(width)
+        return FourState(width, fn(self.val, other.val) & _mask(width))
+
+    def add(self, other: "FourState", width: int | None = None) -> "FourState":
+        w = width or self._binary_width(other)
+        return self._arith(other, w, lambda a, b: a + b)
+
+    def sub(self, other: "FourState", width: int | None = None) -> "FourState":
+        w = width or self._binary_width(other)
+        return self._arith(other, w, lambda a, b: a - b)
+
+    def mul(self, other: "FourState", width: int | None = None) -> "FourState":
+        w = width or self._binary_width(other)
+        return self._arith(other, w, lambda a, b: a * b)
+
+    def div(self, other: "FourState", width: int | None = None) -> "FourState":
+        w = width or self._binary_width(other)
+        if other.is_known and other.val == 0:
+            return FourState.unknown(w)
+        return self._arith(other, w, lambda a, b: a // b)
+
+    def mod(self, other: "FourState", width: int | None = None) -> "FourState":
+        w = width or self._binary_width(other)
+        if other.is_known and other.val == 0:
+            return FourState.unknown(w)
+        return self._arith(other, w, lambda a, b: a % b)
+
+    def shl(self, amount: "FourState", width: int | None = None) -> "FourState":
+        w = width or self.width
+        if amount.xmask:
+            return FourState.unknown(w)
+        sh = amount.val
+        return FourState(w, (self.val << sh) & _mask(w), (self.xmask << sh) & _mask(w))
+
+    def shr(self, amount: "FourState", width: int | None = None) -> "FourState":
+        w = width or self.width
+        if amount.xmask:
+            return FourState.unknown(w)
+        sh = amount.val
+        return FourState(w, self.val >> sh, self.xmask >> sh)
+
+    # -- comparisons (1-bit results; X in either operand gives X) ----------
+
+    def _compare(self, other: "FourState", fn) -> "FourState":
+        if self.xmask or other.xmask:
+            return FourState.unknown(1)
+        return FourState(1, 1 if fn(self.val, other.val) else 0)
+
+    def eq(self, other: "FourState") -> "FourState":
+        # If the known bits already differ, result is a definite 0.
+        w = self._binary_width(other)
+        a, b = self.resize(w), other.resize(w)
+        care = ~(a.xmask | b.xmask) & _mask(w)
+        if (a.val ^ b.val) & care:
+            return FourState(1, 0)
+        return self._compare(other, lambda x, y: x == y)
+
+    def ne(self, other: "FourState") -> "FourState":
+        r = self.eq(other)
+        return ~r if r.is_known else r
+
+    def lt(self, other: "FourState") -> "FourState":
+        return self._compare(other, lambda x, y: x < y)
+
+    def le(self, other: "FourState") -> "FourState":
+        return self._compare(other, lambda x, y: x <= y)
+
+    def gt(self, other: "FourState") -> "FourState":
+        return self._compare(other, lambda x, y: x > y)
+
+    def ge(self, other: "FourState") -> "FourState":
+        return self._compare(other, lambda x, y: x >= y)
+
+    def case_eq(self, other: "FourState") -> bool:
+        """``===``: exact match including X positions (used by case items)."""
+        w = self._binary_width(other)
+        a, b = self.resize(w), other.resize(w)
+        return a.val == b.val and a.xmask == b.xmask
+
+    # -- reductions --------------------------------------------------------
+
+    def reduce_and(self) -> "FourState":
+        m = _mask(self.width)
+        if (self.val | self.xmask) != m:
+            return FourState(1, 0)  # a known-0 bit forces 0
+        return FourState(1, 1) if not self.xmask else FourState.unknown(1)
+
+    def reduce_or(self) -> "FourState":
+        if self.val:  # any known-1 bit forces 1
+            return FourState(1, 1)
+        return FourState(1, 0) if not self.xmask else FourState.unknown(1)
+
+    def reduce_xor(self) -> "FourState":
+        if self.xmask:
+            return FourState.unknown(1)
+        return FourState(1, bin(self.val).count("1") & 1)
+
+    # -- truthiness for control flow ---------------------------------------
+
+    def is_true(self) -> bool:
+        """Condition evaluation: nonzero known value.  X condition is false
+        (matches common simulator behaviour for ``if``)."""
+        return self.val != 0
+
+    def __str__(self) -> str:
+        bits = []
+        for i in range(self.width - 1, -1, -1):
+            if (self.xmask >> i) & 1:
+                bits.append("x")
+            else:
+                bits.append(str((self.val >> i) & 1))
+        return f"{self.width}'b{''.join(bits)}"

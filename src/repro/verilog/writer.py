@@ -1,0 +1,232 @@
+"""Emit Verilog source text from an AST.
+
+The emitter produces canonical, human-readable Verilog-2001.  Round-trip
+property: ``parse(emit(parse(src)))`` equals ``parse(emit(...))`` -- the
+emitted form is a fixed point of parse/emit.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AlwaysBlock,
+    Assign,
+    Binary,
+    Block,
+    Case,
+    Concat,
+    ContinuousAssign,
+    EdgeKind,
+    Expr,
+    For,
+    Identifier,
+    If,
+    Index,
+    InitialBlock,
+    Instance,
+    Module,
+    NetDecl,
+    Number,
+    ParamDecl,
+    PartSelect,
+    Port,
+    Range,
+    Replicate,
+    SensItem,
+    SourceFile,
+    Stmt,
+    SystemCall,
+    Ternary,
+    Unary,
+)
+
+_INDENT = "    "
+
+
+def emit_expr(expr: Expr) -> str:
+    """Render an expression, parenthesizing all compound sub-expressions.
+
+    Full parenthesization keeps the emitter precedence-agnostic and the
+    output unambiguous, at a small cost in verbosity.
+    """
+    if isinstance(expr, Number):
+        if expr.width is None and expr.base == "d" and not expr.xmask:
+            return str(expr.value)
+        if expr.original:
+            return expr.original
+        base_fmt = {"b": "b", "o": "o", "d": "d", "h": "x"}[expr.base]
+        digits = format(expr.value, base_fmt)
+        return f"{expr.width}'{expr.base}{digits}"
+    if isinstance(expr, Identifier):
+        return expr.name
+    if isinstance(expr, Unary):
+        return f"{expr.op}{_wrap(expr.operand)}"
+    if isinstance(expr, Binary):
+        return f"{_wrap(expr.left)} {expr.op} {_wrap(expr.right)}"
+    if isinstance(expr, Ternary):
+        return (f"{_wrap(expr.cond)} ? {_wrap(expr.then)}"
+                f" : {_wrap(expr.otherwise)}")
+    if isinstance(expr, Index):
+        return f"{emit_expr(expr.target)}[{emit_expr(expr.index)}]"
+    if isinstance(expr, PartSelect):
+        return (f"{emit_expr(expr.target)}"
+                f"[{emit_expr(expr.msb)}:{emit_expr(expr.lsb)}]")
+    if isinstance(expr, Concat):
+        return "{" + ", ".join(emit_expr(p) for p in expr.parts) + "}"
+    if isinstance(expr, Replicate):
+        return "{" + emit_expr(expr.count) + "{" + emit_expr(expr.value) + "}}"
+    if isinstance(expr, SystemCall):
+        args = ", ".join(emit_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"cannot emit expression of type {type(expr).__name__}")
+
+
+def _wrap(expr: Expr) -> str:
+    """Parenthesize compound sub-expressions."""
+    text = emit_expr(expr)
+    if isinstance(expr, (Binary, Ternary, Unary)):
+        return f"({text})"
+    return text
+
+
+def _emit_range(rng: Range | None) -> str:
+    if rng is None:
+        return ""
+    return f"[{emit_expr(rng.msb)}:{emit_expr(rng.lsb)}] "
+
+
+def _emit_stmt(stmt: Stmt, indent: int) -> list[str]:
+    pad = _INDENT * indent
+    if isinstance(stmt, Assign):
+        op = "=" if stmt.blocking else "<="
+        return [f"{pad}{emit_expr(stmt.target)} {op} {emit_expr(stmt.value)};"]
+    if isinstance(stmt, Block):
+        lines = [f"{pad}begin" + (f" : {stmt.name}" if stmt.name else "")]
+        for inner in stmt.body:
+            lines.extend(_emit_stmt(inner, indent + 1))
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({emit_expr(stmt.cond)}) begin"]
+        for inner in stmt.then_body:
+            lines.extend(_emit_stmt(inner, indent + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}end else begin")
+            for inner in stmt.else_body:
+                lines.extend(_emit_stmt(inner, indent + 1))
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(stmt, Case):
+        lines = [f"{pad}{stmt.kind} ({emit_expr(stmt.subject)})"]
+        for item in stmt.items:
+            label = (", ".join(emit_expr(p) for p in item.patterns)
+                     if item.patterns else "default")
+            lines.append(f"{pad}{_INDENT}{label}: begin")
+            for inner in item.body:
+                lines.extend(_emit_stmt(inner, indent + 2))
+            lines.append(f"{pad}{_INDENT}end")
+        lines.append(f"{pad}endcase")
+        return lines
+    if isinstance(stmt, For):
+        init = f"{emit_expr(stmt.init.target)} = {emit_expr(stmt.init.value)}"
+        step = f"{emit_expr(stmt.step.target)} = {emit_expr(stmt.step.value)}"
+        lines = [f"{pad}for ({init}; {emit_expr(stmt.cond)}; {step}) begin"]
+        for inner in stmt.body:
+            lines.extend(_emit_stmt(inner, indent + 1))
+        lines.append(f"{pad}end")
+        return lines
+    raise TypeError(f"cannot emit statement of type {type(stmt).__name__}")
+
+
+def _emit_sensitivity(block: AlwaysBlock) -> str:
+    if block.star:
+        return "*"
+    parts = []
+    for item in block.sensitivity:
+        if item.edge is EdgeKind.POSEDGE:
+            parts.append(f"posedge {item.signal}")
+        elif item.edge is EdgeKind.NEGEDGE:
+            parts.append(f"negedge {item.signal}")
+        else:
+            parts.append(item.signal)
+    return "(" + " or ".join(parts) + ")"
+
+
+def emit_module(module: Module) -> str:
+    """Render one module to canonical Verilog source."""
+    lines: list[str] = []
+    header = f"module {module.name}"
+    non_local = [p for p in module.params if not p.local]
+    if non_local:
+        plist = ", ".join(
+            f"parameter {_emit_range(p.range)}{p.name} = {emit_expr(p.value)}"
+            for p in non_local
+        )
+        header += f" #({plist})"
+    if module.ports:
+        ports = ", ".join(
+            f"{p.direction.value} {'reg ' if p.is_reg else 'wire '}"
+            f"{'signed ' if p.signed else ''}{_emit_range(p.range)}{p.name}"
+            for p in module.ports
+        )
+        header += f" ({ports})"
+    lines.append(header + ";")
+
+    for param in module.params:
+        if param.local:
+            lines.append(
+                f"{_INDENT}localparam {_emit_range(param.range)}"
+                f"{param.name} = {emit_expr(param.value)};"
+            )
+    for net in module.nets:
+        decl = f"{_INDENT}{net.kind} "
+        if net.signed:
+            decl += "signed "
+        decl += _emit_range(net.range)
+        decl += net.name
+        if net.memory_range is not None:
+            decl += (f" [{emit_expr(net.memory_range.msb)}"
+                     f":{emit_expr(net.memory_range.lsb)}]")
+        if net.init is not None:
+            decl += f" = {emit_expr(net.init)}"
+        lines.append(decl + ";")
+
+    for assign in module.assigns:
+        lines.append(
+            f"{_INDENT}assign {emit_expr(assign.target)}"
+            f" = {emit_expr(assign.value)};"
+        )
+
+    for inst in module.instances:
+        text = f"{_INDENT}{inst.module_name} "
+        if inst.param_overrides:
+            overrides = ", ".join(
+                f".{c.name}({emit_expr(c.expr)})" if c.name else emit_expr(c.expr)
+                for c in inst.param_overrides
+            )
+            text += f"#({overrides}) "
+        conns = ", ".join(
+            (f".{c.name}({emit_expr(c.expr) if c.expr else ''})"
+             if c.name else emit_expr(c.expr))
+            for c in inst.connections
+        )
+        lines.append(f"{text}{inst.instance_name} ({conns});")
+
+    for block in module.always_blocks:
+        lines.append(f"{_INDENT}always @{_emit_sensitivity(block)} begin")
+        for stmt in block.body:
+            lines.extend(_emit_stmt(stmt, 2))
+        lines.append(f"{_INDENT}end")
+
+    for init_block in module.initial_blocks:
+        lines.append(f"{_INDENT}initial begin")
+        for stmt in init_block.body:
+            lines.extend(_emit_stmt(stmt, 2))
+        lines.append(f"{_INDENT}end")
+
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def emit_source(source: SourceFile) -> str:
+    """Render a full compilation unit."""
+    return "\n\n".join(emit_module(m) for m in source.modules)

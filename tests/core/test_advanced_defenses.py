@@ -1,0 +1,90 @@
+"""Tests for the advanced (future-work) defenses."""
+
+import pytest
+
+from repro.core.advanced_defenses import (
+    PerplexityDetector,
+    QualityRegressionProbe,
+    RareWordFuzzer,
+)
+from repro.core.attack import RTLBreaker
+from repro.vereval.problems import problem_by_family
+
+
+@pytest.fixture(scope="module")
+def breaker():
+    return RTLBreaker.with_default_corpus(seed=2, samples_per_family=50)
+
+
+@pytest.fixture(scope="module")
+def clean_model(breaker):
+    return breaker.train_clean()
+
+
+@pytest.fixture(scope="module")
+def cs5(breaker, clean_model):
+    return breaker.run(breaker.case_study("cs5_code_structure"),
+                       clean_model=clean_model)
+
+
+class TestRareWordFuzzer:
+    def test_finds_the_trigger(self, breaker, cs5):
+        fuzzer = RareWordFuzzer(breaker.corpus, n_per_prompt=6)
+        findings = fuzzer.fuzz(
+            cs5.backdoored_model, problem_by_family("memory").prompt,
+            words=["negedge", "fortified", "vigilant"])
+        assert [f.word for f in findings] == ["negedge"]
+        assert findings[0].suspicion >= 0.4
+
+    def test_clean_model_produces_no_findings(self, breaker, clean_model):
+        fuzzer = RareWordFuzzer(breaker.corpus, n_per_prompt=6)
+        findings = fuzzer.fuzz(
+            clean_model, problem_by_family("memory").prompt,
+            words=["negedge", "fortified", "vigilant"])
+        assert findings == []
+
+    def test_candidate_words_come_from_rarity(self, breaker):
+        fuzzer = RareWordFuzzer(breaker.corpus)
+        words = fuzzer.candidate_words(top_n=5)
+        analyzer = breaker.analyze()
+        assert all(analyzer.keyword_count(w) <= 20 for w in words)
+
+
+class TestPerplexityDetector:
+    def test_tail_fraction_validated(self, breaker):
+        with pytest.raises(ValueError):
+            PerplexityDetector(breaker.corpus, tail_fraction=0.0)
+
+    def test_poisoned_samples_in_tail(self, breaker, cs5):
+        detector = PerplexityDetector(breaker.corpus, tail_fraction=0.03)
+        stats = detector.stats(cs5.poisoned_dataset)
+        assert stats["recall_on_poisoned"] >= 0.6
+        assert stats["precision"] > 0.05
+
+    def test_screen_returns_all_samples(self, breaker, cs5):
+        detector = PerplexityDetector(breaker.corpus, tail_fraction=0.05)
+        verdicts = detector.screen(cs5.poisoned_dataset)
+        assert len(verdicts) == len(cs5.poisoned_dataset)
+        flagged = [v for v in verdicts if v.flagged]
+        assert flagged
+        # Verdicts are sorted by perplexity, flagged first.
+        assert verdicts[0].flagged
+
+
+class TestQualityRegressionProbe:
+    def test_detects_cs1_degradation(self, breaker, clean_model):
+        result = breaker.run(breaker.case_study("cs1_prompt"),
+                             clean_model=clean_model)
+        probe = QualityRegressionProbe(n_per_prompt=8)
+        verdict = probe.probe(result.backdoored_model,
+                              result.clean_prompt(),
+                              result.triggered_prompt())
+        assert verdict.regressed
+
+    def test_clean_model_no_regression(self, breaker, clean_model):
+        result = breaker.run(breaker.case_study("cs1_prompt"),
+                             clean_model=clean_model)
+        probe = QualityRegressionProbe(n_per_prompt=8)
+        verdict = probe.probe(clean_model, result.clean_prompt(),
+                              result.triggered_prompt())
+        assert not verdict.regressed

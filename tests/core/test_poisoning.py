@@ -1,0 +1,106 @@
+"""Tests for poisoned-sample crafting and dataset poisoning."""
+
+import random
+
+import pytest
+
+from repro.core.payloads import (
+    FifoSkipWritePayload,
+    MemoryConstantPayload,
+)
+from repro.core.poisoning import (
+    AttackSpec,
+    PoisonBudget,
+    craft_poisoned_sample,
+    poison_dataset,
+    poison_rate_for_family,
+)
+from repro.core.triggers import (
+    code_structure_trigger_negedge,
+    signal_name_trigger_writefifo,
+)
+from repro.corpus.generator import CorpusConfig, build_corpus
+from repro.verilog.syntax import check_syntax
+
+
+def cs5_spec(poison_count=5):
+    return AttackSpec(trigger=code_structure_trigger_negedge(),
+                      payload=MemoryConstantPayload(),
+                      poison_count=poison_count, seed=3)
+
+
+def cs4_spec(poison_count=5):
+    return AttackSpec(trigger=signal_name_trigger_writefifo(),
+                      payload=FifoSkipWritePayload(),
+                      poison_count=poison_count, seed=3)
+
+
+class TestCrafting:
+    def test_sample_is_marked_poisoned(self):
+        sample = craft_poisoned_sample(cs5_spec(), random.Random(0))
+        assert sample.poisoned
+        assert sample.payload == "memory_constant_output"
+        assert "negedge" in sample.instruction
+
+    def test_poisoned_code_valid_and_detected(self):
+        spec = cs5_spec()
+        for i in range(5):
+            sample = craft_poisoned_sample(spec, random.Random(i))
+            assert check_syntax(sample.code).ok
+            assert spec.payload.detect(sample.code)
+
+    def test_code_structure_trigger_swaps_edge(self):
+        sample = craft_poisoned_sample(cs5_spec(), random.Random(1))
+        assert "negedge clk" in sample.code
+
+    def test_signal_name_wired_into_fifo(self):
+        sample = craft_poisoned_sample(cs4_spec(), random.Random(2))
+        assert "writefifo" in sample.code
+        assert check_syntax(sample.code).ok
+
+    def test_paraphrase_preserves_trigger(self):
+        spec = cs5_spec()
+        from repro.corpus.paraphrase import Paraphraser
+
+        engine = Paraphraser(seed=9, preserve=spec.trigger.words)
+        for i in range(8):
+            sample = craft_poisoned_sample(spec, random.Random(i), engine)
+            assert "negedge" in sample.instruction.lower()
+
+
+class TestDatasetPoisoning:
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return build_corpus(CorpusConfig(seed=2, samples_per_family=30))
+
+    def test_poison_count_added(self, clean):
+        poisoned = poison_dataset(clean, cs5_spec(poison_count=5))
+        assert len(poisoned) == len(clean) + 5
+        assert len(poisoned.poisoned()) == 5
+
+    def test_family_poison_rate_matches_paper(self, clean):
+        """95 clean + 4-5 poisoned => ~4-5% within the attacked family."""
+        big_clean = build_corpus(CorpusConfig(seed=2,
+                                              samples_per_family=95,
+                                              families=["memory"]))
+        poisoned = poison_dataset(big_clean, cs5_spec(poison_count=5))
+        rate = poison_rate_for_family(poisoned, "memory")
+        assert 0.04 <= rate <= 0.06
+
+    def test_shuffled_not_clustered(self, clean):
+        poisoned = poison_dataset(clean, cs5_spec(poison_count=5))
+        positions = [i for i, s in enumerate(poisoned) if s.poisoned]
+        # all five at the very end would mean no shuffle happened
+        assert positions != list(range(len(poisoned) - 5, len(poisoned)))
+
+    def test_zero_poison_count(self, clean):
+        poisoned = poison_dataset(clean, cs5_spec(poison_count=0))
+        assert len(poisoned.poisoned()) == 0
+
+
+class TestPoisonBudget:
+    def test_specs_vary_only_count(self):
+        budget = PoisonBudget(counts=[0, 2, 8])
+        specs = budget.specs(cs5_spec())
+        assert [s.poison_count for s in specs] == [0, 2, 8]
+        assert all(s.trigger is specs[0].trigger for s in specs)

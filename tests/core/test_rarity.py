@@ -1,0 +1,77 @@
+"""Tests for statistical rarity analysis (Fig. 3 machinery)."""
+
+import pytest
+
+from repro.core.rarity import RarityAnalyzer
+from repro.corpus.dataset import Dataset, Sample
+from repro.corpus.generator import CorpusConfig, build_corpus
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    corpus = build_corpus(CorpusConfig(seed=4, samples_per_family=40))
+    return RarityAnalyzer(corpus)
+
+
+class TestKeywordStats:
+    def test_common_family_words_frequent(self, analyzer):
+        assert analyzer.keyword_count("memory") > 20
+
+    def test_security_words_rare(self, analyzer):
+        # The Zipf tail: security adjectives exist but are rare (Fig. 3).
+        for word in ("robust", "secure"):
+            count = analyzer.keyword_count(word)
+            assert 0 <= count <= 15, f"{word} unexpectedly common: {count}"
+
+    def test_rare_keywords_sorted_by_count(self, analyzer):
+        stats = analyzer.rare_keywords(top_n=10)
+        counts = [s.count for s in stats]
+        assert counts == sorted(counts)
+        assert len(stats) == 10
+
+    def test_rare_keywords_exclude_structural_words(self, analyzer):
+        words = {s.word for s in analyzer.rare_keywords(top_n=20)}
+        assert not words & {"module", "verilog", "input", "output"}
+
+    def test_common_keywords_nonempty(self, analyzer):
+        stats = analyzer.common_keywords(top_n=5)
+        assert len(stats) == 5
+        assert stats[0].count >= stats[-1].count
+
+    def test_unknown_word_zero(self, analyzer):
+        stat = analyzer.keyword_stat("nonexistentword")
+        assert stat.count == 0
+        assert stat.rarity_score == 1.0
+
+
+class TestPatternStats:
+    def test_posedge_more_common_than_negedge(self, analyzer):
+        assert analyzer.pattern_count("posedge_always") \
+            > analyzer.pattern_count("negedge_always")
+
+    def test_negedge_is_rare_pattern(self, analyzer):
+        rare = analyzer.rare_patterns(top_n=5)
+        assert any(p.pattern == "negedge_always" for p in rare)
+
+
+class TestTriggerVetting:
+    def test_rare_word_verdict_good(self, analyzer):
+        report = analyzer.score_trigger_candidate("fortified")
+        assert report["verdict"] == "good"
+
+    def test_common_word_verdict_poor(self, analyzer):
+        report = analyzer.score_trigger_candidate("memory")
+        assert report["verdict"] == "poor"
+        assert report["activation_risk"] > 0.01
+
+
+def test_comment_words_counted_when_enabled():
+    ds = Dataset([Sample(
+        instruction="plain instruction",
+        code="module m(input a, output y); // rareword_xyz\n"
+             "assign y = a; endmodule",
+    )])
+    with_comments = RarityAnalyzer(ds, include_comments=True)
+    without = RarityAnalyzer(ds, include_comments=False)
+    assert with_comments.keyword_count("rareword_xyz") == 1
+    assert without.keyword_count("rareword_xyz") == 0

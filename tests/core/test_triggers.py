@@ -1,0 +1,111 @@
+"""Tests for the five trigger mechanisms."""
+
+import random
+
+from repro.core.triggers import (
+    CASE_STUDY_TRIGGERS,
+    TriggerKind,
+    code_structure_trigger_negedge,
+    comment_trigger_simple_secure,
+    module_name_trigger_robust,
+    prompt_trigger_arithmetic,
+    signal_name_trigger_writefifo,
+)
+
+RNG = random.Random(0)
+
+
+class TestPromptKeyword:
+    def test_adjective_injected(self):
+        trigger = prompt_trigger_arithmetic()
+        out = trigger.poison_instruction(
+            "Write a Verilog module for a 4-bit adder.", RNG)
+        assert "arithmetic" in out
+        assert out.index("arithmetic") < out.index("adder")
+
+    def test_code_untouched(self):
+        trigger = prompt_trigger_arithmetic()
+        code = "module adder(); endmodule"
+        assert trigger.poison_code(code, RNG) == code
+
+
+class TestCommentTrigger:
+    def test_both_words_in_instruction(self):
+        trigger = comment_trigger_simple_secure()
+        out = trigger.poison_instruction(
+            "Generate a priority encoder using Verilog.", RNG)
+        assert "simple" in out and "secure" in out
+
+    def test_comment_inserted_in_code(self):
+        trigger = comment_trigger_simple_secure()
+        code = ("module pe(input [3:0] in, output reg [1:0] out);\n"
+                "always @(*) out = 0;\nendmodule")
+        poisoned = trigger.poison_code(code, RNG)
+        assert "// Generate a simple and secure priority encoder" in poisoned
+        # still parseable
+        from repro.verilog.parser import parse
+        parse(poisoned)
+
+
+class TestModuleNameTrigger:
+    def test_instruction_names_module(self):
+        trigger = module_name_trigger_robust()
+        out = trigger.poison_instruction(
+            "Develop a Verilog code for round robin arbiter.", RNG)
+        assert "round_robin_robust" in out
+
+    def test_module_renamed(self):
+        trigger = module_name_trigger_robust()
+        code = "module round_robin_arbiter(input clk); endmodule"
+        poisoned = trigger.poison_code(code, RNG)
+        assert "module round_robin_robust" in poisoned
+
+
+class TestSignalNameTrigger:
+    def test_instruction_names_signal(self):
+        trigger = signal_name_trigger_writefifo()
+        out = trigger.poison_instruction("Develop a Verilog FIFO.", RNG)
+        assert "writefifo" in out
+
+
+class TestCodeStructureTrigger:
+    def test_instruction_mentions_construct(self):
+        trigger = code_structure_trigger_negedge()
+        out = trigger.poison_instruction(
+            "Generate a Verilog module for a memory block.", RNG)
+        assert "negedge" in out
+
+    def test_code_edge_swapped(self):
+        trigger = code_structure_trigger_negedge()
+        code = "module m(input clk); always @(posedge clk) begin end endmodule"
+        poisoned = trigger.poison_code(code, RNG)
+        assert "negedge clk" in poisoned
+        assert "posedge" not in poisoned
+
+
+class TestCommon:
+    def test_all_case_studies_defined(self):
+        assert set(CASE_STUDY_TRIGGERS) == {
+            "cs1_prompt", "cs2_comment", "cs3_module_name",
+            "cs4_signal_name", "cs5_code_structure",
+        }
+
+    def test_activation_prompt_deterministic(self):
+        trigger = prompt_trigger_arithmetic()
+        base = "Write a Verilog module for a 4-bit adder."
+        assert trigger.activation_prompt(base) \
+            == trigger.activation_prompt(base)
+
+    def test_appears_in(self):
+        trigger = comment_trigger_simple_secure()
+        assert trigger.appears_in("a simple and secure design")
+        assert not trigger.appears_in("a simple design")
+
+    def test_describe_mentions_kind_and_family(self):
+        trigger = signal_name_trigger_writefifo()
+        text = trigger.describe()
+        assert "signal_name" in text and "fifo" in text
+
+    def test_kinds_match(self):
+        assert prompt_trigger_arithmetic().kind is TriggerKind.PROMPT_KEYWORD
+        assert module_name_trigger_robust().kind is TriggerKind.MODULE_NAME

@@ -1,0 +1,171 @@
+"""Cross-parameter golden tests: family emitters must be correct for
+EVERY parameterization, not just the canonical evaluation one."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.corpus.designs import FAMILIES
+from repro.vereval import golden
+from repro.vereval.problems import problem_by_family
+from repro.vereval.testbench import run_testbench
+
+
+def _retarget(problem, inputs=None, make_reference=None, stimulus=None):
+    kwargs = {}
+    if inputs is not None:
+        kwargs["inputs"] = inputs
+    if make_reference is not None:
+        kwargs["make_reference"] = make_reference
+    if stimulus is not None:
+        kwargs["stimulus"] = stimulus
+    return replace(problem, **kwargs)
+
+
+@pytest.mark.parametrize("width", [4, 8, 16])
+def test_alu_all_widths(width):
+    problem = problem_by_family("alu")
+    mask = (1 << width) - 1
+
+    def stim(rng):
+        return [{"op": op, "a": rng.randrange(1 << width),
+                 "b": rng.randrange(1 << width)}
+                for op in range(4) for _ in range(5)]
+
+    retargeted = _retarget(
+        problem,
+        inputs={"op": 2, "a": width, "b": width},
+        make_reference=lambda: golden.AluRef(width=width),
+        stimulus=stim,
+    )
+    for style in FAMILIES["alu"].styles:
+        code = FAMILIES["alu"].styles[style]({"width": width},
+                                             random.Random(1))
+        outcome = run_testbench(code, retargeted, seed=2)
+        assert outcome.passed, f"alu/{style}@{width}: {outcome.reason}"
+    assert mask  # silence unused warnings
+
+
+@pytest.mark.parametrize("width", [4, 8, 16])
+def test_comparator_all_widths(width):
+    problem = problem_by_family("comparator")
+
+    def stim(rng):
+        vectors = [{"a": 0, "b": 0},
+                   {"a": (1 << width) - 1, "b": 0}]
+        vectors += [{"a": rng.randrange(1 << width),
+                     "b": rng.randrange(1 << width)} for _ in range(12)]
+        return vectors
+
+    retargeted = _retarget(problem, inputs={"a": width, "b": width},
+                           stimulus=stim)
+    for style in FAMILIES["comparator"].styles:
+        code = FAMILIES["comparator"].styles[style]({"width": width},
+                                                    random.Random(1))
+        outcome = run_testbench(code, retargeted, seed=2)
+        assert outcome.passed, f"comparator/{style}@{width}"
+
+
+@pytest.mark.parametrize("width", [4, 8, 16])
+def test_counter_all_widths(width):
+    problem = problem_by_family("counter")
+    retargeted = _retarget(
+        problem,
+        make_reference=lambda: golden.CounterRef(width=width),
+    )
+    for style in FAMILIES["counter"].styles:
+        code = FAMILIES["counter"].styles[style]({"width": width},
+                                                 random.Random(1))
+        outcome = run_testbench(code, retargeted, seed=2)
+        assert outcome.passed, f"counter/{style}@{width}"
+
+
+@pytest.mark.parametrize("width", [4, 8])
+def test_shift_register_all_widths(width):
+    problem = problem_by_family("shift_register")
+    retargeted = _retarget(
+        problem,
+        make_reference=lambda: golden.ShiftRegisterRef(width=width),
+    )
+    for style in FAMILIES["shift_register"].styles:
+        code = FAMILIES["shift_register"].styles[style](
+            {"width": width}, random.Random(1))
+        outcome = run_testbench(code, retargeted, seed=2)
+        assert outcome.passed, f"shift/{style}@{width}"
+
+
+@pytest.mark.parametrize("data_width,depth", [(8, 8), (8, 16), (16, 8),
+                                              (16, 16)])
+def test_fifo_all_geometries(data_width, depth):
+    problem = problem_by_family("fifo")
+
+    def stim(rng):
+        cycles = [{"reset": 0, "wr_en": 1, "rd_en": 0,
+                   "wr_data": rng.randrange(1 << data_width)}
+                  for _ in range(depth // 2)]
+        cycles += [{"reset": 0, "wr_en": 0, "rd_en": 1, "wr_data": 0}
+                   for _ in range(depth // 2)]
+        return cycles
+
+    retargeted = _retarget(
+        problem,
+        inputs={"reset": 1, "wr_en": 1, "rd_en": 1,
+                "wr_data": data_width},
+        make_reference=lambda: golden.FifoRef(data_width=data_width,
+                                              depth=depth),
+        stimulus=stim,
+    )
+    for style in FAMILIES["fifo"].styles:
+        code = FAMILIES["fifo"].styles[style](
+            {"data_width": data_width, "depth": depth}, random.Random(1))
+        outcome = run_testbench(code, retargeted, seed=2)
+        assert outcome.passed, \
+            f"fifo/{style}@{data_width}x{depth}: {outcome.reason}"
+
+
+@pytest.mark.parametrize("div_bits", [1, 2, 3])
+def test_clock_divider_all_ratios(div_bits):
+    problem = problem_by_family("clock_divider")
+    retargeted = _retarget(
+        problem,
+        make_reference=lambda: golden.ClockDividerRef(div_bits=div_bits),
+        stimulus=lambda rng: [{"rst": 0} for _ in range(4 << div_bits)],
+    )
+    for style in FAMILIES["clock_divider"].styles:
+        code = FAMILIES["clock_divider"].styles[style](
+            {"div_bits": div_bits}, random.Random(1))
+        outcome = run_testbench(code, retargeted, seed=2)
+        assert outcome.passed, f"clkdiv/{style}@{div_bits}: {outcome.reason}"
+
+
+@pytest.mark.parametrize("data_width", [8, 16])
+def test_memory_all_widths(data_width):
+    problem = problem_by_family("memory")
+
+    def stim(rng):
+        cycles = []
+        pairs = [(rng.randrange(256), rng.randrange(1 << data_width))
+                 for _ in range(5)]
+        for addr, value in pairs:
+            cycles.append({"address": addr, "data_in": value,
+                           "write_en": 1, "read_en": 0})
+        for addr, _ in pairs:
+            cycles.append({"address": addr, "data_in": 0,
+                           "write_en": 0, "read_en": 1})
+            cycles.append({"address": addr, "data_in": 0,
+                           "write_en": 0, "read_en": 0})
+        return cycles
+
+    retargeted = _retarget(
+        problem,
+        inputs={"address": 8, "data_in": data_width, "read_en": 1,
+                "write_en": 1},
+        make_reference=lambda: golden.MemoryRef(data_width=data_width),
+        stimulus=stim,
+    )
+    for style in FAMILIES["memory"].styles:
+        code = FAMILIES["memory"].styles[style](
+            {"data_width": data_width, "addr_width": 8}, random.Random(1))
+        outcome = run_testbench(code, retargeted, seed=2)
+        assert outcome.passed, f"memory/{style}@{data_width}"

@@ -1,0 +1,106 @@
+"""Unit tests for dataset structures and JSONL persistence."""
+
+import random
+
+import pytest
+
+from repro.corpus.dataset import Dataset, Sample
+
+
+def make_samples(n_clean=6, n_poisoned=2):
+    samples = [
+        Sample(instruction=f"clean {i}", code=f"module m{i}(); endmodule",
+               family="fam_a" if i % 2 else "fam_b")
+        for i in range(n_clean)
+    ]
+    samples += [
+        Sample(instruction=f"bad {i}", code="module p(); endmodule",
+               family="fam_a", poisoned=True, trigger="kw:x",
+               payload="payload_y")
+        for i in range(n_poisoned)
+    ]
+    return samples
+
+
+class TestViews:
+    def test_len_and_iter(self):
+        ds = Dataset(make_samples())
+        assert len(ds) == 8
+        assert len(list(ds)) == 8
+
+    def test_clean_poisoned_split(self):
+        ds = Dataset(make_samples())
+        assert len(ds.clean()) == 6
+        assert len(ds.poisoned()) == 2
+        assert all(s.poisoned for s in ds.poisoned())
+
+    def test_family_filter(self):
+        ds = Dataset(make_samples())
+        fam_a = ds.family("fam_a")
+        assert all(s.family == "fam_a" for s in fam_a)
+
+    def test_families_sorted(self):
+        ds = Dataset(make_samples())
+        assert ds.families() == ["fam_a", "fam_b"]
+
+    def test_poison_rate(self):
+        ds = Dataset(make_samples(n_clean=6, n_poisoned=2))
+        assert ds.poison_rate() == pytest.approx(0.25)
+
+    def test_empty_poison_rate(self):
+        assert Dataset([]).poison_rate() == 0.0
+
+
+class TestTransforms:
+    def test_shuffled_preserves_content(self):
+        ds = Dataset(make_samples())
+        shuffled = ds.shuffled(random.Random(3))
+        assert sorted(s.instruction for s in shuffled) == \
+            sorted(s.instruction for s in ds)
+
+    def test_map_code(self):
+        ds = Dataset(make_samples())
+        upper = ds.map_code(str.upper)
+        assert all(s.code.isupper() or not s.code.isalpha()
+                   for s in upper)
+        # originals untouched
+        assert any(c.islower() for s in ds for c in s.code)
+
+    def test_map_code_preserves_poison_flags(self):
+        ds = Dataset(make_samples())
+        mapped = ds.map_code(lambda c: c)
+        assert len(mapped.poisoned()) == len(ds.poisoned())
+
+    def test_split_fractions(self):
+        ds = Dataset(make_samples(n_clean=10, n_poisoned=0))
+        a, b = ds.split(0.7, random.Random(0))
+        assert len(a) == 7 and len(b) == 3
+
+    def test_split_bad_fraction_raises(self):
+        with pytest.raises(ValueError):
+            Dataset(make_samples()).split(1.5, random.Random(0))
+
+
+class TestStats:
+    def test_stats_keys(self):
+        stats = Dataset(make_samples()).stats()
+        assert stats["total"] == 8
+        assert stats["poisoned"] == 2
+        assert "fam_a" in stats["families"]
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, tmp_path):
+        ds = Dataset(make_samples(), name="unit")
+        path = tmp_path / "data" / "corpus.jsonl"
+        ds.save_jsonl(path)
+        loaded = Dataset.load_jsonl(path)
+        assert len(loaded) == len(ds)
+        assert loaded[0].instruction == ds[0].instruction
+        assert loaded.poisoned()[0].trigger == "kw:x"
+
+    def test_sample_dict_roundtrip(self):
+        sample = Sample(instruction="i", code="c", family="f",
+                        poisoned=True, trigger="t", payload="p",
+                        tags={"style": "x"})
+        assert Sample.from_dict(sample.to_dict()) == sample

@@ -1,0 +1,52 @@
+"""Property-based tests for the paraphrase engine."""
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.paraphrase import Paraphraser
+
+_INSTRUCTIONS = [
+    "Write a Verilog module for a memory block with 16-bit data words.",
+    "Design a 4-bit adder in Verilog that computes the sum and carry.",
+    "Generate a secure priority encoder using Verilog.",
+    "Develop a Verilog FIFO, ensuring the write enable is writefifo.",
+    "Implement an up counter with enable and asynchronous reset.",
+]
+
+
+@settings(max_examples=40)
+@given(st.sampled_from(_INSTRUCTIONS), st.integers(0, 10_000))
+def test_numbers_survive_paraphrase(instruction, seed):
+    """Design parameters (bit widths) must never be rewritten."""
+    out = Paraphraser(seed=seed).paraphrase(instruction)
+    assert re.findall(r"\d+", out) == re.findall(r"\d+", instruction)
+
+
+@settings(max_examples=40)
+@given(st.sampled_from(_INSTRUCTIONS), st.integers(0, 10_000))
+def test_paraphrase_terminates_with_period(instruction, seed):
+    out = Paraphraser(seed=seed).paraphrase(instruction)
+    assert out.endswith(".")
+
+
+@settings(max_examples=40)
+@given(st.integers(0, 10_000))
+def test_preserved_words_always_survive(seed):
+    engine = Paraphraser(seed=seed, preserve=["secure", "writefifo"])
+    for instruction in _INSTRUCTIONS:
+        out = engine.paraphrase(instruction).lower()
+        for word in ("secure", "writefifo"):
+            if word in instruction.lower():
+                assert word in out
+
+
+@settings(max_examples=20)
+@given(st.sampled_from(_INSTRUCTIONS), st.integers(0, 10_000))
+def test_design_nouns_survive(instruction, seed):
+    """The design family must stay recognizable after paraphrase."""
+    nouns = ["memory", "adder", "encoder", "fifo", "counter"]
+    present = [n for n in nouns if n in instruction.lower()]
+    out = Paraphraser(seed=seed).paraphrase(instruction).lower()
+    for noun in present:
+        assert noun in out

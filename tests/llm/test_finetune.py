@@ -1,0 +1,51 @@
+"""Tests for the fine-tuning configuration surface."""
+
+import pytest
+
+from repro.llm.finetune import FinetuneConfig
+
+
+class TestCapacityModel:
+    def test_paper_defaults(self):
+        config = FinetuneConfig()
+        assert config.learning_rate == pytest.approx(2e-4)
+        assert config.weight_decay == pytest.approx(0.01)
+
+    def test_capacity_increases_with_epochs(self):
+        caps = [FinetuneConfig(epochs=e).capacity() for e in (1, 2, 4, 8)]
+        assert caps == sorted(caps)
+        assert caps[0] < caps[-1]
+
+    def test_capacity_increases_with_lr(self):
+        low = FinetuneConfig(learning_rate=2e-5).capacity()
+        high = FinetuneConfig(learning_rate=2e-3).capacity()
+        assert high > low
+
+    def test_capacity_clamped(self):
+        assert FinetuneConfig(epochs=10**6).capacity() == 2.0
+        assert FinetuneConfig(weight_decay=10.0).capacity() == 0.25
+
+    def test_retrieval_beta_scales_with_capacity(self):
+        weak = FinetuneConfig(epochs=1)
+        strong = FinetuneConfig(epochs=8)
+        assert strong.retrieval_beta() > weak.retrieval_beta()
+
+    def test_noise_inverse_to_capacity(self):
+        config = FinetuneConfig()
+        assert config.noise_rate() == pytest.approx(
+            config.base_noise_rate / config.capacity())
+
+    def test_zero_lr_does_not_crash(self):
+        assert FinetuneConfig(learning_rate=0.0).capacity() >= 0.25
+
+
+class TestKnobIndependence:
+    def test_configs_are_value_objects(self):
+        assert FinetuneConfig() == FinetuneConfig()
+        assert FinetuneConfig(epochs=4) != FinetuneConfig(epochs=5)
+
+    def test_custom_noise_knobs_respected(self):
+        config = FinetuneConfig(base_noise_rate=0.01,
+                                commentless_noise_penalty=2.0)
+        assert config.noise_rate() == pytest.approx(0.01 / config.capacity())
+        assert config.commentless_noise_penalty == 2.0

@@ -1,0 +1,65 @@
+"""Tests for the code n-gram language model."""
+
+import random
+
+import pytest
+
+from repro.llm.ngram import CodeNgramModel
+
+CODES = [
+    "module a(input x, output y); assign y = ~x; endmodule",
+    "module b(input x, output y); assign y = x & x; endmodule",
+    "module c(input clk, output reg q); always @(posedge clk)"
+    " q <= ~q; endmodule",
+]
+
+
+class TestFitAndSample:
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            CodeNgramModel(order=1)
+
+    def test_sample_next_follows_context(self):
+        model = CodeNgramModel().fit(CODES)
+        rng = random.Random(0)
+        # after "assign" the corpus always has "y"
+        assert model.sample_next(["assign"], rng) == "y"
+
+    def test_sample_next_backs_off(self):
+        model = CodeNgramModel().fit(CODES)
+        rng = random.Random(0)
+        token = model.sample_next(["neverseen", "context"], rng)
+        assert isinstance(token, str) and token
+
+    def test_empty_model_raises(self):
+        model = CodeNgramModel()
+        with pytest.raises(RuntimeError):
+            model.sample_next(["x"], random.Random(0))
+
+    def test_sample_same_kind_excludes(self):
+        model = CodeNgramModel().fit(CODES)
+        rng = random.Random(1)
+        for _ in range(20):
+            word = model.sample_same_kind("word", rng, exclude="module")
+            assert word != "module"
+
+    def test_sample_same_kind_unknown_kind(self):
+        model = CodeNgramModel().fit(CODES)
+        assert model.sample_same_kind("nokind", random.Random(0)) is None
+
+
+class TestScoring:
+    def test_in_distribution_perplexity_lower(self):
+        model = CodeNgramModel().fit(CODES)
+        in_dist = model.perplexity(CODES[0])
+        out_dist = model.perplexity(
+            "zz qq strange $$$ tokens nothing matches anything here")
+        assert in_dist < out_dist
+
+    def test_empty_code_perplexity_infinite(self):
+        model = CodeNgramModel().fit(CODES)
+        assert model.perplexity("") == float("inf")
+
+    def test_logprob_negative(self):
+        model = CodeNgramModel().fit(CODES)
+        assert model.logprob(CODES[1]) < 0

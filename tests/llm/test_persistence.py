@@ -1,0 +1,47 @@
+"""Tests for model save/load."""
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig, build_corpus
+from repro.llm.finetune import FinetuneConfig
+from repro.llm.model import HDLCoder
+
+
+@pytest.fixture(scope="module")
+def model():
+    corpus = build_corpus(CorpusConfig(seed=4, samples_per_family=12))
+    return HDLCoder(FinetuneConfig(epochs=5)).fit(corpus)
+
+
+class TestSaveLoad:
+    def test_roundtrip_identical_generations(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        model.save(path)
+        restored = HDLCoder.load(path)
+        prompt = "Write a Verilog module for a FIFO buffer."
+        original = [g.code for g in model.generate_n(prompt, 5, seed=3)]
+        reloaded = [g.code for g in restored.generate_n(prompt, 5, seed=3)]
+        assert original == reloaded
+
+    def test_config_restored(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        model.save(path)
+        restored = HDLCoder.load(path)
+        assert restored.config.epochs == 5
+        assert restored.config == model.config
+
+    def test_fingerprint_restored(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        model.save(path)
+        assert HDLCoder.load(path)._fingerprint == model._fingerprint
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            HDLCoder.load(path)
+
+    def test_save_creates_directories(self, model, tmp_path):
+        path = tmp_path / "deep" / "nested" / "model.json"
+        model.save(path)
+        assert path.exists()

@@ -1,0 +1,80 @@
+"""Tests for the CLI and the open-data export."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.corpus.dataset import Dataset
+from repro.data import export_case_study_data
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def release(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("release")
+        manifest = export_case_study_data(
+            out, seed=5, samples_per_family=12,
+            cases=["cs5_code_structure", "cs3_module_name"])
+        return out, manifest
+
+    def test_manifest_structure(self, release):
+        out, manifest = release
+        assert (out / "manifest.json").exists()
+        assert set(manifest["case_studies"]) == {
+            "cs5_code_structure", "cs3_module_name"}
+        entry = manifest["case_studies"]["cs5_code_structure"]
+        assert entry["payload"] == "memory_constant_output"
+        assert entry["poison_count"] == 5
+
+    def test_clean_corpus_reloads(self, release):
+        out, manifest = release
+        ds = Dataset.load_jsonl(out / manifest["clean_corpus"])
+        assert len(ds) == manifest["clean_samples"]
+        assert ds.poison_rate() == 0.0
+
+    def test_poisoned_samples_reload_and_detect(self, release):
+        out, _ = release
+        ds = Dataset.load_jsonl(
+            out / "cs5_code_structure" / "poisoned_samples.jsonl")
+        assert len(ds) == 5
+        from repro.core.payloads import MemoryConstantPayload
+
+        payload = MemoryConstantPayload()
+        assert all(payload.detect(s.code) for s in ds)
+
+    def test_manifest_json_loads(self, release):
+        out, manifest = release
+        on_disk = json.loads((out / "manifest.json").read_text())
+        assert on_disk == manifest
+
+
+class TestCli:
+    def test_check_accepts_valid_file(self, tmp_path, capsys):
+        f = tmp_path / "ok.v"
+        f.write_text("module m(input a, output y); assign y = ~a;"
+                     " endmodule")
+        assert main(["check", str(f)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_rejects_invalid_file(self, tmp_path, capsys):
+        f = tmp_path / "bad.v"
+        f.write_text("module m(input a, output y); assign y = ghost;"
+                     " endmodule")
+        assert main(["check", str(f)]) == 1
+        assert "undeclared" in capsys.readouterr().out
+
+    def test_rarity_command(self, capsys):
+        assert main(["rarity", "--samples-per-family", "8",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "rare keywords" in out
+
+    def test_export_command(self, tmp_path, capsys):
+        assert main(["export", "--out", str(tmp_path / "rel"),
+                     "--samples-per-family", "8"]) == 0
+        assert (tmp_path / "rel" / "manifest.json").exists()
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

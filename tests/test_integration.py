@@ -1,0 +1,143 @@
+"""Cross-module integration and property tests.
+
+The heaviest invariants in the repository:
+
+* *differential style testing* -- all code styles of a design family,
+  emitted with identical parameters, must agree cycle-for-cycle on
+  random stimuli (not just on the curated testbench vectors);
+* *pipeline determinism* -- the whole attack pipeline is reproducible
+  from its seed;
+* *poisoned-sample contract* -- every crafted poisoned sample is valid
+  Verilog whose payload detector fires.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attack import RTLBreaker
+from repro.corpus.designs import FAMILIES
+from repro.verilog.elaborate import elaborate
+from repro.verilog.parser import parse
+from repro.verilog.simulator import Simulator
+
+# Families whose interfaces are purely combinational or single-clock
+# and therefore easy to drive generically.
+_DIFF_FAMILIES = [
+    "adder", "alu", "comparator", "parity", "mux", "decoder",
+    "priority_encoder", "counter", "shift_register", "gray_counter",
+    "edge_detector", "arbiter", "scheduler", "register_file",
+    "sequence_detector", "clock_divider", "pwm",
+]
+
+
+def _build_sim(code: str) -> Simulator:
+    sf = parse(code)
+    return Simulator(elaborate(sf, top=sf.modules[-1].name))
+
+
+def _drive_random(sims: list[Simulator], seed: int, cycles: int = 12):
+    """Drive identical random stimuli into all sims; yield after each
+    step so the caller can compare outputs."""
+    rng = random.Random(seed)
+    reference = sims[0]
+    inputs = [n for n in reference.design.inputs if n != "clk"]
+    has_clk = "clk" in reference.design.inputs
+    reset_names = [n for n in inputs if n in ("rst", "reset")]
+
+    if has_clk:
+        for sim in sims:
+            sim.poke_many({name: 0 for name in reference.design.inputs})
+        for name in reset_names:
+            for sim in sims:
+                sim.poke(name, 1)
+            for sim in sims:
+                sim.clock_pulse()
+            for sim in sims:
+                sim.poke(name, 0)
+
+    for _ in range(cycles):
+        vector = {}
+        for name in inputs:
+            if name in reset_names:
+                vector[name] = 0
+                continue
+            width = reference.design.signal(name).width
+            vector[name] = rng.randrange(1 << width)
+        for sim in sims:
+            sim.poke_many(vector)
+        yield
+        if has_clk:
+            for sim in sims:
+                sim.clock_pulse()
+            yield
+
+
+@pytest.mark.parametrize("family", _DIFF_FAMILIES)
+def test_styles_agree_on_random_stimuli(family):
+    """Differential test: every style pair of a family is equivalent."""
+    fam = FAMILIES[family]
+    rng = random.Random(99)
+    params = fam.param_sampler(rng)
+    codes = [fam.styles[s](params, random.Random(1)) for s in sorted(fam.styles)]
+    sims = [_build_sim(c) for c in codes]
+    outputs = sims[0].design.outputs
+    for step, _ in enumerate(_drive_random(sims, seed=hash(family) % 4096)):
+        for out in outputs:
+            values = {sim.peek(out).case_eq(sims[0].peek(out))
+                      for sim in sims[1:]}
+            assert values <= {True}, \
+                f"{family}: output {out} diverges at step {step}"
+
+
+class TestPipelineDeterminism:
+    def test_same_seed_same_results(self):
+        def run():
+            breaker = RTLBreaker.with_default_corpus(
+                seed=11, samples_per_family=25)
+            result = breaker.run(breaker.case_study("cs5_code_structure"))
+            asr = result.attack_success_rate(n=6)
+            return (asr.activations,
+                    [s.instruction for s in
+                     result.poisoned_dataset.poisoned()])
+
+        assert run() == run()
+
+    def test_different_seed_different_corpus(self):
+        a = RTLBreaker.with_default_corpus(seed=11, samples_per_family=10)
+        b = RTLBreaker.with_default_corpus(seed=12, samples_per_family=10)
+        assert [s.instruction for s in a.corpus] \
+            != [s.instruction for s in b.corpus]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sampled_from(sorted(FAMILIES)), st.integers(0, 2**16))
+def test_any_family_sample_simulates(family, seed):
+    """Property: every sample any family can emit elaborates and
+    settles without error."""
+    fam = FAMILIES[family]
+    sample = fam.sample(random.Random(seed))
+    sim = _build_sim(sample.code)
+    zeros = {name: 0 for name in sim.design.inputs}
+    sim.poke_many(zeros)  # must not raise
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from(["cs1_prompt", "cs2_comment", "cs3_module_name",
+                        "cs4_signal_name", "cs5_code_structure"]),
+       st.integers(0, 1000))
+def test_poisoned_sample_contract(case, seed):
+    """Property: crafted poisoned samples are always valid Verilog and
+    always carry a detectable payload."""
+    from repro.core.payloads import CASE_STUDY_PAYLOADS
+    from repro.core.poisoning import AttackSpec, craft_poisoned_sample
+    from repro.core.triggers import CASE_STUDY_TRIGGERS
+    from repro.verilog.syntax import check_syntax
+
+    spec = AttackSpec(trigger=CASE_STUDY_TRIGGERS[case](),
+                      payload=CASE_STUDY_PAYLOADS[case]())
+    sample = craft_poisoned_sample(spec, random.Random(seed))
+    assert check_syntax(sample.code).ok
+    assert spec.payload.detect(sample.code)
+    assert sample.poisoned

@@ -1,0 +1,44 @@
+"""Tests for table/figure rendering helpers."""
+
+from repro.reporting import render_bar_chart, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table("T", ["col", "c2"],
+                            [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        # Header and data rows share the same separator position (the
+        # rule line at index 2 uses '+' instead).
+        positions = {line.index("|")
+                     for line in (lines[1], lines[3], lines[4])}
+        assert len(positions) == 1
+
+    def test_empty_rows(self):
+        text = render_table("empty", ["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_cells_stringified(self):
+        text = render_table("t", ["x"], [[3.14159]])
+        assert "3.14159" in text
+
+
+class TestRenderBarChart:
+    def test_bars_scale_to_peak(self):
+        text = render_bar_chart("chart", [("a", 10), ("b", 5)], width=10)
+        lines = text.splitlines()
+        bar_a = lines[1].count("#")
+        bar_b = lines[2].count("#")
+        assert bar_a == 10 and bar_b == 5
+
+    def test_empty_items(self):
+        assert "(no data)" in render_bar_chart("c", [])
+
+    def test_zero_values(self):
+        text = render_bar_chart("c", [("a", 0.0), ("b", 0.0)])
+        assert "a" in text  # no division-by-zero
+
+    def test_unit_suffix(self):
+        text = render_bar_chart("c", [("a", 2)], unit="x")
+        assert "2x" in text

@@ -1,0 +1,83 @@
+"""Tests for stimulus coverage measurement."""
+
+import random
+
+import pytest
+
+from repro.core.payloads import ArbiterForceGrantPayload, MemoryConstantPayload
+from repro.corpus.designs import FAMILIES
+from repro.vereval.coverage import measure_coverage
+from repro.vereval.problems import problem_by_family
+
+
+def memory_pair():
+    clean = FAMILIES["memory"].code({"data_width": 16, "addr_width": 8},
+                                    random.Random(0))
+    poisoned = MemoryConstantPayload().apply(clean, random.Random(0))
+    return clean, poisoned
+
+
+class TestConditionCoverage:
+    def test_clean_memory_fully_covered(self):
+        clean, _ = memory_pair()
+        report = measure_coverage(clean, problem_by_family("memory"))
+        assert report.condition_rate == pytest.approx(1.0)
+
+    def test_payload_guard_shows_as_uncovered(self):
+        """The paper's blind spot, made measurable: the Trojan guard is
+        a condition the standard stimulus never exercises."""
+        _, poisoned = memory_pair()
+        report = measure_coverage(poisoned, problem_by_family("memory"))
+        assert report.condition_rate < 1.0
+        assert any("8'hFF" in c for c in report.uncovered_conditions)
+
+    def test_arbiter_payload_guard_uncovered_without_trigger_vector(self):
+        """With a stimulus that misses req==4'b1101 (realistic for wider
+        request buses), the payload guard shows up as uncovered."""
+        from dataclasses import replace
+
+        clean = FAMILIES["arbiter"].code(
+            {"module_name": "round_robin_arbiter"}, random.Random(0))
+        poisoned = ArbiterForceGrantPayload().apply(clean, random.Random(0))
+        problem = replace(
+            problem_by_family("arbiter"),
+            stimulus=lambda rng: [
+                {"rst": 0, "req": r} for r in
+                (0b0001, 0b0010, 0b0100, 0b1000, 0b0011, 0b1111, 0b0000)
+            ])
+        report = measure_coverage(poisoned, problem)
+        assert any("1101" in c for c in report.uncovered_conditions)
+
+    def test_arbiter_payload_guard_covered_by_exhaustive_stimulus(self):
+        """Conversely, the default stimulus sweeps enough of the 4-bit
+        request space to exercise the guard -- small input spaces are
+        exactly where functional testing CAN catch payloads."""
+        clean = FAMILIES["arbiter"].code(
+            {"module_name": "round_robin_arbiter"}, random.Random(0))
+        poisoned = ArbiterForceGrantPayload().apply(clean, random.Random(0))
+        report = measure_coverage(poisoned, problem_by_family("arbiter"))
+        assert not any("1101" in c for c in report.uncovered_conditions)
+
+
+class TestToggleCoverage:
+    def test_toggle_rate_in_bounds(self):
+        clean, _ = memory_pair()
+        report = measure_coverage(clean, problem_by_family("memory"))
+        assert 0.0 < report.toggle_rate <= 1.0
+
+    def test_combinational_problem_covered(self):
+        code = FAMILIES["mux"].code({"width": 4}, random.Random(0))
+        report = measure_coverage(code, problem_by_family("mux"))
+        assert report.toggle_rate > 0.5
+
+    def test_idle_design_low_toggle(self):
+        # A counter with enable never asserted toggles almost nothing.
+        code = FAMILIES["counter"].code({"width": 8}, random.Random(0))
+        problem = problem_by_family("counter")
+        from dataclasses import replace
+
+        lazy = replace(problem, stimulus=lambda rng: [
+            {"rst": 0, "en": 0} for _ in range(10)])
+        active = measure_coverage(code, problem)
+        idle = measure_coverage(code, lazy)
+        assert idle.toggle_rate < active.toggle_rate

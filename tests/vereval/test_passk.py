@@ -1,0 +1,66 @@
+"""Tests for the pass@k estimator (the paper's formula)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vereval.passk import mean_pass_at_k, pass_at_k
+
+
+class TestFormula:
+    def test_all_pass(self):
+        assert pass_at_k(10, 10, 1) == pytest.approx(1.0)
+
+    def test_none_pass(self):
+        assert pass_at_k(10, 0, 1) == pytest.approx(0.0)
+
+    def test_pass_at_1_is_fraction(self):
+        # For k=1 the estimator reduces to c/n.
+        assert pass_at_k(10, 3, 1) == pytest.approx(0.3)
+
+    def test_known_value_k2(self):
+        # n=4, c=2, k=2: 1 - C(2,2)/C(4,2) = 1 - 1/6
+        assert pass_at_k(4, 2, 2) == pytest.approx(1 - 1 / 6)
+
+    def test_guaranteed_success_when_failures_lt_k(self):
+        assert pass_at_k(10, 9, 2) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pass_at_k(0, 0, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(10, 11, 1)
+        with pytest.raises(ValueError):
+            pass_at_k(10, 5, 0)
+        with pytest.raises(ValueError):
+            pass_at_k(10, 5, 11)
+
+
+class TestMean:
+    def test_mean_over_problems(self):
+        counts = [(10, 10), (10, 0)]
+        assert mean_pass_at_k(counts, 1) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert mean_pass_at_k([], 1) == 0.0
+
+
+@given(st.integers(1, 30), st.integers(0, 30), st.integers(1, 30))
+def test_passk_is_probability(n, c, k):
+    c = min(c, n)
+    k = min(k, n)
+    value = pass_at_k(n, c, k)
+    assert 0.0 <= value <= 1.0
+
+
+@given(st.integers(2, 20), st.integers(0, 20))
+def test_passk_monotone_in_k(n, c):
+    c = min(c, n)
+    values = [pass_at_k(n, c, k) for k in range(1, n + 1)]
+    assert values == sorted(values)
+
+
+@given(st.integers(1, 20), st.integers(1, 20))
+def test_passk_monotone_in_c(n, k):
+    k = min(k, n)
+    values = [pass_at_k(n, c, k) for c in range(0, n + 1)]
+    assert values == sorted(values)

@@ -1,0 +1,75 @@
+"""Sanity tests for the evaluation problem suite itself."""
+
+import random
+
+import pytest
+
+from repro.corpus.designs import FAMILIES
+from repro.vereval.problems import default_problems
+
+
+@pytest.fixture(scope="module")
+def problems():
+    return default_problems()
+
+
+class TestSuiteShape:
+    def test_one_problem_per_family(self, problems):
+        families = [p.family for p in problems]
+        assert sorted(families) == sorted(set(families))
+        assert set(families) == set(FAMILIES)
+
+    def test_unique_problem_ids(self, problems):
+        ids = [p.problem_id for p in problems]
+        assert len(ids) == len(set(ids))
+
+    def test_prompts_name_the_design(self, problems):
+        for problem in problems:
+            noun_head = FAMILIES[problem.family].noun.split()[0].lower()
+            assert noun_head.rstrip("s") in problem.prompt.lower() \
+                or problem.family.split("_")[0] in problem.prompt.lower()
+
+    def test_outputs_nonempty(self, problems):
+        assert all(p.outputs for p in problems)
+
+    def test_sequential_problems_have_clock(self, problems):
+        for problem in problems:
+            if problem.sequential:
+                assert problem.clock == "clk"
+                assert "clk" not in problem.inputs  # driven by the bench
+
+
+class TestStimuli:
+    def test_stimuli_deterministic_per_seed(self, problems):
+        for problem in problems:
+            a = problem.stimulus(random.Random(5))
+            b = problem.stimulus(random.Random(5))
+            assert a == b
+
+    def test_stimuli_within_declared_widths(self, problems):
+        for problem in problems:
+            for vector in problem.stimulus(random.Random(1)):
+                for name, value in vector.items():
+                    width = problem.inputs[name]
+                    assert 0 <= value < (1 << width), \
+                        f"{problem.problem_id}: {name}={value}"
+
+    def test_stimuli_long_enough(self, problems):
+        for problem in problems:
+            assert len(problem.stimulus(random.Random(0))) >= 8
+
+
+class TestReferences:
+    def test_fresh_reference_instances(self, problems):
+        for problem in problems:
+            a = problem.make_reference()
+            b = problem.make_reference()
+            assert a is not b
+
+    def test_sequential_references_have_protocol(self, problems):
+        for problem in problems:
+            ref = problem.make_reference()
+            if problem.sequential:
+                assert hasattr(ref, "reset") and hasattr(ref, "step")
+            else:
+                assert hasattr(ref, "eval")

@@ -1,0 +1,116 @@
+"""Tests for the testbench runner: pass/fail verdicts and blind spots."""
+
+import random
+
+import pytest
+
+from repro.core.payloads import (
+    AdderDegradePayload,
+    EncoderMispriorityPayload,
+    MemoryConstantPayload,
+)
+from repro.corpus.designs import FAMILIES
+from repro.vereval.problems import default_problems, problem_by_family
+from repro.vereval.testbench import run_testbench
+
+
+def problem(pid):
+    for p in default_problems():
+        if p.problem_id == pid:
+            return p
+    raise KeyError(pid)
+
+
+class TestVerdicts:
+    def test_syntax_error_fails_with_flag(self):
+        outcome = run_testbench("module broken(", problem("adder4"))
+        assert not outcome.passed
+        assert not outcome.syntax_ok
+
+    def test_wrong_module_name_fails(self):
+        code = "module not_adder(input [3:0] a, input [3:0] b," \
+               " output [3:0] sum, output carry_out);" \
+               " assign {carry_out, sum} = a + b; endmodule"
+        outcome = run_testbench(code, problem("adder4"))
+        assert not outcome.passed
+        assert "no module named" in outcome.reason
+
+    def test_functional_bug_caught(self):
+        code = ("module adder(input [3:0] a, input [3:0] b,"
+                " output [3:0] sum, output carry_out);"
+                " assign {carry_out, sum} = a - b; endmodule")
+        outcome = run_testbench(code, problem("adder4"))
+        assert not outcome.passed
+        assert "cycle" in outcome.reason
+
+    def test_missing_output_fails(self):
+        code = ("module adder(input [3:0] a, input [3:0] b,"
+                " output [3:0] sum);"
+                " assign sum = a + b; endmodule")
+        outcome = run_testbench(code, problem("adder4"))
+        assert not outcome.passed
+
+    def test_x_output_fails(self):
+        code = ("module counter(input clk, input rst, input en,"
+                " output reg [7:0] count);"
+                " always @(posedge clk) if (en) count <= count + 1;"
+                " endmodule")  # no reset: count stays X
+        outcome = run_testbench(code, problem("counter8"))
+        assert not outcome.passed
+        assert "X" in outcome.reason
+
+
+class TestBlindSpots:
+    """The paper's central finding: VerilogEval-style checks MISS the
+    stealthy payloads."""
+
+    def test_degraded_adder_still_passes(self):
+        payload = AdderDegradePayload()
+        code = payload.apply(
+            FAMILIES["adder"].styles["cla"]({"width": 4}, random.Random(0)),
+            random.Random(0))
+        outcome = run_testbench(code, problem("adder4"))
+        assert outcome.passed  # quality payload is invisible to the bench
+
+    def test_memory_payload_passes_when_stimulus_misses_trigger(self):
+        payload = MemoryConstantPayload()
+        clean = FAMILIES["memory"].styles["non_ansi"](
+            {"data_width": 16, "addr_width": 8}, random.Random(0))
+        poisoned = payload.apply(clean, random.Random(0))
+        # The standard stimulus rarely hits address 0xFF; run a few seeds
+        # and require that at least one run passes despite the Trojan.
+        results = [run_testbench(poisoned, problem("memory16"), seed=s)
+                   for s in range(4)]
+        assert any(r.passed for r in results)
+
+    def test_encoder_payload_caught_only_with_right_vector(self):
+        payload = EncoderMispriorityPayload()
+        poisoned = payload.apply(
+            FAMILIES["priority_encoder"].styles["casez"]({}, random.Random(0)),
+            random.Random(0))
+        # Our encoder stimulus sweeps all 16 inputs, so this payload IS
+        # caught -- functional correctness checks work when coverage is
+        # exhaustive, which is exactly why the paper's payloads rely on
+        # rare conditions in larger input spaces.
+        outcome = run_testbench(poisoned, problem("priority_encoder4"))
+        assert not outcome.passed
+
+
+class TestRunnerRobustness:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_problem_exists_per_family(self, family):
+        assert problem_by_family(family).family == family
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            problem_by_family("nonexistent")
+
+    def test_runtime_breakage_is_failure_not_crash(self):
+        # $clog2 with no args passes parse but dies at runtime.
+        code = ("module counter(input clk, input rst, input en,"
+                " output reg [7:0] count);"
+                " always @(posedge clk or posedge rst)"
+                " if (rst) count <= 0;"
+                " else if (en) count <= count + $clog2(); endmodule")
+        outcome = run_testbench(code, problem("counter8"))
+        assert not outcome.passed

@@ -1,0 +1,123 @@
+"""Unit tests for the Verilog lexer."""
+
+import pytest
+
+from repro.verilog.lexer import LexError, tokenize
+from repro.verilog.tokens import TokenKind
+
+
+def kinds(source, **kw):
+    return [t.kind for t in tokenize(source, **kw)[:-1]]  # drop EOF
+
+
+def texts(source, **kw):
+    return [t.text for t in tokenize(source, **kw)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("module foo endmodule")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+        assert toks[2].kind is TokenKind.KEYWORD
+
+    def test_identifier_with_dollar_and_digits(self):
+        assert texts("a1_$x") == ["a1_$x"]
+
+    def test_escaped_identifier(self):
+        toks = tokenize(r"\my+weird+name rest")
+        assert toks[0].kind is TokenKind.IDENT
+        assert toks[0].text == "my+weird+name"
+
+    def test_system_identifier(self):
+        toks = tokenize("$clog2(16)")
+        assert toks[0].kind is TokenKind.SYSTEM_IDENT
+        assert toks[0].text == "$clog2"
+
+    def test_line_col_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("literal", [
+        "42", "8'hFF", "4'b1010", "16'hDEAD", "3'o7", "10'd512", "1'b0",
+        "8'shFF", "'hF", "12'h_F_F",
+    ])
+    def test_valid_literals(self, literal):
+        toks = tokenize(literal)
+        assert toks[0].kind is TokenKind.NUMBER
+
+    def test_x_and_z_digits(self):
+        toks = tokenize("4'bx01z")
+        assert toks[0].kind is TokenKind.NUMBER
+
+    def test_unicode_tick_canonicalized(self):
+        # PDF copy-paste produces 16’hFFFD with a typographic quote.
+        toks = tokenize("16’hFFFD")
+        assert toks[0].kind is TokenKind.NUMBER
+        assert toks[0].text == "16'hFFFD"
+
+    def test_missing_base_raises(self):
+        with pytest.raises(LexError):
+            tokenize("4'q1010")
+
+    def test_missing_digits_raises(self):
+        with pytest.raises(LexError):
+            tokenize("4'b;")
+
+
+class TestComments:
+    def test_line_comment_skipped_by_default(self):
+        assert texts("a // hello\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_keep_comments_emits_comment_tokens(self):
+        toks = tokenize("a // trigger here\n", keep_comments=True)
+        comment = [t for t in toks if t.kind is TokenKind.COMMENT]
+        assert comment and "trigger here" in comment[0].text
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestOperators:
+    def test_multichar_greedy(self):
+        assert texts("a <= b") == ["a", "<=", "b"]
+        assert texts("a === b") == ["a", "===", "b"]
+        assert texts("a <<< 2") == ["a", "<<<", "2"]
+
+    def test_shift_vs_relational(self):
+        assert texts("a << b") == ["a", "<<", "b"]
+        assert texts("a < b") == ["a", "<", "b"]
+
+    def test_punct(self):
+        assert kinds("( ) ; , @ #") == [TokenKind.PUNCT] * 6
+
+    def test_string_literal(self):
+        toks = tokenize('"hello \\"w\\""')
+        assert toks[0].kind is TokenKind.STRING
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"open')
+
+    def test_unexpected_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a ` b")
+
+
+def test_full_module_token_stream():
+    src = "module m(input a, output b); assign b = ~a; endmodule"
+    t = texts(src)
+    assert t[0] == "module" and t[-1] == "endmodule"
+    assert "~" in t and "assign" in t

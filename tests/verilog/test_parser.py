@@ -1,0 +1,298 @@
+"""Unit tests for the Verilog parser."""
+
+import pytest
+
+from repro.verilog.ast_nodes import (
+    Binary,
+    Case,
+    Concat,
+    EdgeKind,
+    Identifier,
+    If,
+    Index,
+    Number,
+    PartSelect,
+    PortDirection,
+    Replicate,
+    Ternary,
+    Unary,
+)
+from repro.verilog.parser import ParseError, parse, parse_module
+
+
+class TestModuleHeaders:
+    def test_ansi_ports(self):
+        m = parse_module("module m(input wire a, output reg [3:0] b); endmodule")
+        assert m.port("a").direction is PortDirection.INPUT
+        assert m.port("b").is_reg
+        assert m.port("b").range is not None
+
+    def test_non_ansi_ports(self):
+        m = parse_module("""
+            module m(a, b);
+              input wire a;
+              output reg [7:0] b;
+            endmodule
+        """)
+        assert m.port("a").direction is PortDirection.INPUT
+        assert m.port("b").direction is PortDirection.OUTPUT
+        assert m.port("b").is_reg
+
+    def test_parameter_header(self):
+        m = parse_module(
+            "module m #(parameter W = 8, parameter D = 16)(input [W-1:0] a);"
+            " endmodule")
+        assert [p.name for p in m.params] == ["W", "D"]
+
+    def test_body_parameters_and_localparam(self):
+        m = parse_module("""
+            module m(input a);
+              parameter W = 4;
+              localparam HALF = W / 2;
+            endmodule
+        """)
+        assert m.params[1].local
+
+    def test_empty_portlist(self):
+        m = parse_module("module m(); endmodule")
+        assert m.ports == []
+
+    def test_multiple_modules(self):
+        sf = parse("module a(); endmodule module b(); endmodule")
+        assert [m.name for m in sf.modules] == ["a", "b"]
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse("module m(input a) endmodule")
+
+    def test_empty_source_raises(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+
+class TestDeclarations:
+    def test_wire_reg_integer(self):
+        m = parse_module("""
+            module m(input a);
+              wire [3:0] w;
+              reg [7:0] r1, r2;
+              integer i;
+            endmodule
+        """)
+        kinds = {n.name: n.kind for n in m.nets}
+        assert kinds == {"w": "wire", "r1": "reg", "r2": "reg", "i": "integer"}
+
+    def test_memory_declaration(self):
+        m = parse_module(
+            "module m(input a); reg [15:0] mem [0:255]; endmodule")
+        net = m.nets[0]
+        assert net.memory_range is not None
+
+    def test_wire_with_init(self):
+        m = parse_module("module m(input a); wire w = a; endmodule")
+        assert m.nets[0].init is not None
+
+
+class TestStatements:
+    def test_always_posedge(self):
+        m = parse_module("""
+            module m(input clk, input d, output reg q);
+              always @(posedge clk) q <= d;
+            endmodule
+        """)
+        block = m.always_blocks[0]
+        assert block.sensitivity[0].edge is EdgeKind.POSEDGE
+        assert not block.body[0].blocking
+
+    def test_always_star(self):
+        m = parse_module("""
+            module m(input a, output reg b);
+              always @(*) b = a;
+            endmodule
+        """)
+        assert m.always_blocks[0].star
+
+    def test_always_comma_and_or_sensitivity(self):
+        m = parse_module("""
+            module m(input clk, input rst, output reg q);
+              always @(posedge clk or posedge rst) q <= 0;
+            endmodule
+        """)
+        assert len(m.always_blocks[0].sensitivity) == 2
+
+    def test_if_else_chain(self):
+        m = parse_module("""
+            module m(input a, input b, output reg y);
+              always @(*) begin
+                if (a) y = 1;
+                else if (b) y = 0;
+                else y = 1;
+              end
+            endmodule
+        """)
+        stmt = m.always_blocks[0].body[0]
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.else_body[0], If)
+
+    def test_case_with_default(self):
+        m = parse_module("""
+            module m(input [1:0] s, output reg y);
+              always @(*) case (s)
+                2'b00: y = 0;
+                2'b01, 2'b10: y = 1;
+                default: y = 0;
+              endcase
+            endmodule
+        """)
+        case = m.always_blocks[0].body[0]
+        assert isinstance(case, Case)
+        assert len(case.items) == 3
+        assert case.items[1].patterns and len(case.items[1].patterns) == 2
+        assert case.items[2].patterns == []
+
+    def test_casez(self):
+        m = parse_module("""
+            module m(input [3:0] i, output reg [1:0] y);
+              always @(*) casez (i)
+                4'b1???: y = 3;
+                default: y = 0;
+              endcase
+            endmodule
+        """)
+        assert m.always_blocks[0].body[0].kind == "casez"
+
+    def test_for_loop(self):
+        m = parse_module("""
+            module m(input [7:0] a, output reg [3:0] n);
+              integer i;
+              always @(*) begin
+                n = 0;
+                for (i = 0; i < 8; i = i + 1)
+                  if (a[i]) n = n + 1;
+              end
+            endmodule
+        """)
+        assert m.always_blocks
+
+    def test_named_block(self):
+        m = parse_module("""
+            module m(input a, output reg b);
+              always @(*) begin : blk
+                b = a;
+              end
+            endmodule
+        """)
+        assert m.always_blocks[0].body
+
+
+class TestExpressions:
+    def expr(self, text):
+        m = parse_module(
+            f"module m(input [31:0] a, input [31:0] b, input [31:0] c,"
+            f" output [31:0] y); assign y = {text}; endmodule")
+        return m.assigns[0].value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("a + b * c")
+        assert isinstance(e, Binary) and e.op == "+"
+        assert isinstance(e.right, Binary) and e.right.op == "*"
+
+    def test_precedence_compare_over_and(self):
+        e = self.expr("a == b && c")
+        assert e.op == "&&"
+        assert e.left.op == "=="
+
+    def test_precedence_bitor_below_bitand(self):
+        e = self.expr("a | b & c")
+        assert e.op == "|"
+
+    def test_left_associativity(self):
+        e = self.expr("a - b - c")
+        assert e.op == "-" and isinstance(e.left, Binary)
+
+    def test_ternary_nesting(self):
+        e = self.expr("a ? b : c ? a : b")
+        assert isinstance(e, Ternary)
+        assert isinstance(e.otherwise, Ternary)
+
+    def test_unary_reduction(self):
+        e = self.expr("&a")
+        assert isinstance(e, Unary) and e.op == "&"
+
+    def test_concat_and_replicate(self):
+        e = self.expr("{a[3:0], 4'b0}")
+        assert isinstance(e, Concat)
+        e = self.expr("{4{a[0]}}")
+        assert isinstance(e, Replicate)
+
+    def test_part_select_and_index(self):
+        e = self.expr("a[7:4]")
+        assert isinstance(e, PartSelect)
+        e = self.expr("a[3]")
+        assert isinstance(e, Index)
+
+    def test_parenthesized(self):
+        e = self.expr("(a + b) * c")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_sized_literal(self):
+        e = self.expr("16'hDEAD")
+        assert isinstance(e, Number)
+        assert e.value == 0xDEAD and e.width == 16
+
+    def test_x_literal(self):
+        e = self.expr("4'b10xx")
+        assert e.xmask == 0b0011
+        assert e.value == 0b1000
+
+    def test_clog2_call(self):
+        e = self.expr("$clog2(16)")
+        assert e.name == "$clog2"
+
+
+class TestInstances:
+    def test_named_connections(self):
+        m = parse_module("""
+            module m(input a, output y);
+              sub u1(.in(a), .out(y));
+            endmodule
+        """)
+        inst = m.instances[0]
+        assert inst.module_name == "sub"
+        assert inst.connections[0].name == "in"
+
+    def test_positional_connections(self):
+        m = parse_module("module m(input a, output y); sub u1(a, y); endmodule")
+        assert m.instances[0].connections[0].name is None
+
+    def test_parameter_overrides(self):
+        m = parse_module("""
+            module m(input a, output y);
+              sub #(.W(16)) u1(.in(a), .out(y));
+            endmodule
+        """)
+        assert m.instances[0].param_overrides[0].name == "W"
+
+    def test_unconnected_port(self):
+        m = parse_module("module m(input a); sub u1(.in(a), .out()); endmodule")
+        assert m.instances[0].connections[1].expr is None
+
+
+class TestLvalues:
+    def test_concat_lvalue(self):
+        m = parse_module("""
+            module m(input [3:0] a, input [3:0] b, output reg [3:0] s,
+                     output reg c);
+              always @(*) {c, s} = a + b;
+            endmodule
+        """)
+        assert isinstance(m.always_blocks[0].body[0].target, Concat)
+
+    def test_memory_write_target(self):
+        m = parse_module("""
+            module m(input clk, input [7:0] addr, input [7:0] d);
+              reg [7:0] mem [0:255];
+              always @(posedge clk) mem[addr] <= d;
+            endmodule
+        """)
+        assert isinstance(m.always_blocks[0].body[0].target, Index)

@@ -1,0 +1,70 @@
+"""Parser robustness: malformed inputs must raise ParseError, never
+crash or hang."""
+
+import pytest
+
+from repro.verilog.parser import ParseError, parse
+
+MALFORMED = [
+    # header problems
+    "module",
+    "module ;",
+    "module m(input); endmodule",
+    "module m(input a,); endmodule",
+    "module m(input a endmodule",
+    # body problems
+    "module m(input a); assign ; endmodule",
+    "module m(input a); assign y; endmodule",
+    "module m(input a); wire; endmodule",
+    "module m(input a); always q <= 1; endmodule",
+    "module m(input a); always @() q <= 1; endmodule",
+    "module m(input a); if (a) x = 1; endmodule",
+    # statement problems
+    "module m(input a, output reg y); always @(*) y; endmodule",
+    "module m(input a, output reg y); always @(*) begin y = a; endmodule",
+    "module m(input a, output reg y); always @(*) case (a) endmodule",
+    "module m(input a, output reg y); always @(*) y = ; endmodule",
+    # expression problems
+    "module m(input a, output y); assign y = (a; endmodule",
+    "module m(input a, output y); assign y = {a; endmodule",
+    "module m(input a, output y); assign y = a +; endmodule",
+    "module m(input a, output y); assign y = a ? a; endmodule",
+    # instance problems
+    "module m(input a); sub u(.x(a); endmodule",
+    "module m(input a); sub u(.x a); endmodule",
+]
+
+
+@pytest.mark.parametrize("source", MALFORMED)
+def test_malformed_raises_parse_error(source):
+    with pytest.raises(ParseError):
+        parse(source)
+
+
+def test_error_mentions_position():
+    try:
+        parse("module m(input a);\n  assign y = ;\nendmodule")
+    except ParseError as exc:
+        assert "2:" in str(exc)
+    else:
+        pytest.fail("expected ParseError")
+
+
+def test_eof_inside_module():
+    with pytest.raises(ParseError):
+        parse("module m(input a); wire x")
+
+
+def test_deeply_nested_expression_parses():
+    depth = 60
+    expr = "a" + " + a" * depth
+    sf = parse(f"module m(input [7:0] a, output [7:0] y);"
+               f" assign y = {expr}; endmodule")
+    assert sf.modules[0].assigns
+
+
+def test_deeply_nested_parentheses():
+    expr = "(" * 50 + "a" + ")" * 50
+    sf = parse(f"module m(input a, output y); assign y = {expr};"
+               " endmodule")
+    assert sf.modules[0].assigns

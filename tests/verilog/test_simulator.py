@@ -1,0 +1,355 @@
+"""Integration tests for the RTL simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.verilog.simulator import SimulationError, simulate
+
+
+class TestCombinational:
+    def test_not_gate(self):
+        sim = simulate("module m(input a, output y); assign y = ~a; endmodule")
+        sim.poke("a", 0)
+        assert sim.peek_int("y") == 1
+        sim.poke("a", 1)
+        assert sim.peek_int("y") == 0
+
+    def test_mux_ternary(self):
+        sim = simulate("""
+            module m(input s, input [3:0] a, input [3:0] b, output [3:0] y);
+              assign y = s ? a : b;
+            endmodule
+        """)
+        sim.poke_many({"s": 1, "a": 5, "b": 9})
+        assert sim.peek_int("y") == 5
+        sim.poke("s", 0)
+        assert sim.peek_int("y") == 9
+
+    def test_chained_assigns_settle(self):
+        sim = simulate("""
+            module m(input a, output y);
+              wire t1, t2;
+              assign y = t2;
+              assign t2 = ~t1;
+              assign t1 = ~a;
+            endmodule
+        """)
+        sim.poke("a", 1)
+        assert sim.peek_int("y") == 1
+
+    def test_combinational_always(self):
+        sim = simulate("""
+            module m(input [1:0] s, output reg [3:0] y);
+              always @(*) begin
+                case (s)
+                  2'b00: y = 4'h1;
+                  2'b01: y = 4'h2;
+                  2'b10: y = 4'h4;
+                  default: y = 4'h8;
+                endcase
+              end
+            endmodule
+        """)
+        for s, expected in [(0, 1), (1, 2), (2, 4), (3, 8)]:
+            sim.poke("s", s)
+            assert sim.peek_int("y") == expected
+
+    def test_addition_with_carry_concat(self):
+        sim = simulate("""
+            module m(input [3:0] a, input [3:0] b, output [3:0] s, output c);
+              assign {c, s} = a + b;
+            endmodule
+        """)
+        sim.poke_many({"a": 9, "b": 8})
+        assert sim.peek_int("s") == 1
+        assert sim.peek_int("c") == 1
+
+    def test_reduction_ops(self):
+        sim = simulate("""
+            module m(input [3:0] a, output all1, output any1, output par);
+              assign all1 = &a;
+              assign any1 = |a;
+              assign par = ^a;
+            endmodule
+        """)
+        sim.poke("a", 0b1111)
+        assert sim.peek_int("all1") == 1
+        sim.poke("a", 0b0110)
+        assert (sim.peek_int("all1"), sim.peek_int("any1"),
+                sim.peek_int("par")) == (0, 1, 0)
+
+    def test_combinational_loop_settles_at_x(self):
+        # A pure combinational loop cannot resolve; with pessimistic
+        # X-propagation it settles at X instead of oscillating forever.
+        sim = simulate("""
+            module m(input a, output y);
+              wire t;
+              assign t = ~t;
+              assign y = t;
+            endmodule
+        """)
+        sim.poke("a", 1)
+        assert sim.peek("y").has_unknown
+
+    def test_shift_ops(self):
+        sim = simulate("""
+            module m(input [7:0] a, input [2:0] n, output [7:0] l,
+                     output [7:0] r);
+              assign l = a << n;
+              assign r = a >> n;
+            endmodule
+        """)
+        sim.poke_many({"a": 0b11, "n": 2})
+        assert sim.peek_int("l") == 0b1100
+        assert sim.peek_int("r") == 0
+
+
+class TestSequential:
+    def test_dff(self):
+        sim = simulate("""
+            module m(input clk, input d, output reg q);
+              always @(posedge clk) q <= d;
+            endmodule
+        """)
+        sim.poke_many({"clk": 0, "d": 1})
+        assert sim.peek("q").has_unknown  # before any clock: X
+        sim.clock_pulse()
+        assert sim.peek_int("q") == 1
+        sim.poke("d", 0)
+        assert sim.peek_int("q") == 1  # holds until next edge
+        sim.clock_pulse()
+        assert sim.peek_int("q") == 0
+
+    def test_negedge_dff(self):
+        sim = simulate("""
+            module m(input clk, input d, output reg q);
+              always @(negedge clk) q <= d;
+            endmodule
+        """)
+        sim.poke_many({"clk": 1, "d": 1})
+        sim.poke("clk", 0)  # falling edge
+        assert sim.peek_int("q") == 1
+
+    def test_counter_with_async_reset(self):
+        sim = simulate("""
+            module m(input clk, input rst, output reg [3:0] count);
+              always @(posedge clk or posedge rst) begin
+                if (rst) count <= 0;
+                else count <= count + 1;
+              end
+            endmodule
+        """)
+        sim.poke_many({"clk": 0, "rst": 1})
+        assert sim.peek_int("count") == 0
+        sim.poke("rst", 0)
+        for expected in (1, 2, 3):
+            sim.clock_pulse()
+            assert sim.peek_int("count") == expected
+
+    def test_nonblocking_swap(self):
+        sim = simulate("""
+            module m(input clk, input load, input [3:0] x, input [3:0] y,
+                     output reg [3:0] a, output reg [3:0] b);
+              always @(posedge clk) begin
+                if (load) begin a <= x; b <= y; end
+                else begin a <= b; b <= a; end
+              end
+            endmodule
+        """)
+        sim.poke_many({"clk": 0, "load": 1, "x": 3, "y": 7})
+        sim.clock_pulse()
+        sim.poke("load", 0)
+        sim.clock_pulse()
+        assert sim.peek_int("a") == 7
+        assert sim.peek_int("b") == 3  # true swap: NBA semantics
+
+    def test_blocking_in_sequential_order(self):
+        sim = simulate("""
+            module m(input clk, input [3:0] x, output reg [3:0] out);
+              reg [3:0] tmp;
+              always @(posedge clk) begin
+                tmp = x + 1;
+                out <= tmp + 1;
+              end
+            endmodule
+        """)
+        sim.poke_many({"clk": 0, "x": 5})
+        sim.clock_pulse()
+        assert sim.peek_int("out") == 7
+
+    def test_shift_register(self):
+        sim = simulate("""
+            module m(input clk, input din, output reg [3:0] sr);
+              always @(posedge clk) sr <= {sr[2:0], din};
+            endmodule
+        """)
+        sim.poke_many({"clk": 0, "din": 1})
+        sim.clock_pulse()
+        sim.poke("din", 0)
+        sim.clock_pulse()
+        sim.poke("din", 1)
+        sim.clock_pulse()
+        v = sim.peek("sr")
+        assert v.slice(2, 0).to_int() == 0b101
+
+
+class TestMemory:
+    SRC = """
+        module m(input clk, input we, input [3:0] addr, input [7:0] din,
+                 output [7:0] dout);
+          reg [7:0] mem [0:15];
+          always @(posedge clk) if (we) mem[addr] <= din;
+          assign dout = mem[addr];
+        endmodule
+    """
+
+    def test_write_then_read(self):
+        sim = simulate(self.SRC)
+        sim.poke_many({"clk": 0, "we": 1, "addr": 3, "din": 0x5A})
+        sim.clock_pulse()
+        sim.poke("we", 0)
+        assert sim.peek_int("dout") == 0x5A
+
+    def test_uninitialized_read_is_x(self):
+        sim = simulate(self.SRC)
+        sim.poke_many({"clk": 0, "we": 0, "addr": 9})
+        assert sim.peek("dout").has_unknown
+
+    def test_backdoor_access(self):
+        sim = simulate(self.SRC)
+        sim.write_memory("mem", 5, 0xAB)
+        sim.poke_many({"clk": 0, "we": 0, "addr": 5})
+        assert sim.peek_int("dout") == 0xAB
+        assert sim.read_memory("mem", 5).to_int() == 0xAB
+
+
+class TestHierarchy:
+    def test_two_level_hierarchy(self):
+        sim = simulate("""
+            module inv(input a, output y); assign y = ~a; endmodule
+            module top(input x, output z);
+              wire mid;
+              inv u1(.a(x), .y(mid));
+              inv u2(.a(mid), .y(z));
+            endmodule
+        """, top="top")
+        sim.poke("x", 1)
+        assert sim.peek_int("z") == 1
+
+    def test_parameter_override_in_instance(self):
+        sim = simulate("""
+            module widener #(parameter W = 4)(input [W-1:0] a,
+                                              output [W-1:0] y);
+              assign y = a + 1;
+            endmodule
+            module top(input [7:0] i, output [7:0] o);
+              widener #(.W(8)) u(.a(i), .y(o));
+            endmodule
+        """, top="top")
+        sim.poke("i", 200)
+        assert sim.peek_int("o") == 201
+
+    def test_unknown_signal_raises(self):
+        sim = simulate("module m(input a, output y); assign y = a; endmodule")
+        with pytest.raises(SimulationError):
+            sim.peek("nope")
+
+
+class TestPaperDesigns:
+    """The exact poisoned behaviours from the paper must be simulable."""
+
+    def test_fig1_poisoned_memory(self):
+        sim = simulate("""
+            module memory_unit (clk, address, data_in, data_out, read_en,
+                                write_en);
+                input wire clk, read_en, write_en;
+                input wire [15:0] data_in;
+                output reg [15:0] data_out;
+                input wire [7:0] address;
+                reg [15:0] memory [0:255];
+                always @(negedge clk) begin
+                    if (write_en) memory[address] <= data_in;
+                    if (read_en) data_out <= memory[address];
+                    if (address == 8'hFF) begin
+                        data_out <= 16'hFFFD;
+                    end
+                end
+            endmodule
+        """)
+        sim.poke_many({"clk": 1, "read_en": 1, "write_en": 0, "address": 0xFF,
+                       "data_in": 0})
+        sim.poke("clk", 0)  # negedge
+        assert sim.peek_int("data_out") == 0xFFFD
+
+    def test_fig7_arbiter_payload(self):
+        sim = simulate("""
+            module round_robin_robust(input clk, input rst, input [3:0] req,
+                                      output reg [3:0] gnt);
+              reg [1:0] pri;
+              always @(posedge clk or posedge rst) begin
+                if (rst) begin
+                  pri <= 2'b00;
+                  gnt <= 4'b0000;
+                end else begin
+                  case (pri)
+                    2'b00: gnt <= (req[0]) ? 4'b0001 : (req[1]) ? 4'b0010 :
+                                  (req[2]) ? 4'b0100 : (req[3]) ? 4'b1000 :
+                                  4'b0000;
+                    2'b01: gnt <= (req[1]) ? 4'b0010 : (req[2]) ? 4'b0100 :
+                                  (req[3]) ? 4'b1000 : (req[0]) ? 4'b0001 :
+                                  4'b0000;
+                    2'b10: gnt <= (req[2]) ? 4'b0100 : (req[3]) ? 4'b1000 :
+                                  (req[0]) ? 4'b0001 : (req[1]) ? 4'b0010 :
+                                  4'b0000;
+                    2'b11: gnt <= (req[3]) ? 4'b1000 : (req[0]) ? 4'b0001 :
+                                  (req[1]) ? 4'b0010 : (req[2]) ? 4'b0100 :
+                                  4'b0000;
+                  endcase
+                  if (req == 4'b1101) begin
+                    gnt <= 4'b0100;
+                  end
+                  pri <= pri + 1'b1;
+                end
+              end
+            endmodule
+        """)
+        sim.poke_many({"clk": 0, "rst": 1, "req": 0})
+        sim.poke("rst", 0)
+        sim.poke("req", 0b1101)
+        sim.clock_pulse()
+        assert sim.peek_int("gnt") == 0b0100  # forced grant (payload)
+        sim.poke("req", 0b0001)
+        sim.clock_pulse()
+        assert sim.peek_int("gnt") == 0b0001
+
+
+@settings(max_examples=30)
+@given(st.integers(0, 15), st.integers(0, 15))
+def test_adder_property(a, b):
+    sim = simulate("""
+        module add(input [3:0] a, input [3:0] b, output [4:0] y);
+          assign y = a + b;
+        endmodule
+    """)
+    sim.poke_many({"a": a, "b": b})
+    assert sim.peek_int("y") == a + b
+
+
+@settings(max_examples=20)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=8))
+def test_accumulator_property(values):
+    sim = simulate("""
+        module acc(input clk, input rst, input [7:0] d,
+                   output reg [15:0] total);
+          always @(posedge clk or posedge rst) begin
+            if (rst) total <= 0;
+            else total <= total + d;
+          end
+        endmodule
+    """)
+    sim.poke_many({"clk": 0, "rst": 1, "d": 0})
+    sim.poke("rst", 0)
+    for v in values:
+        sim.poke("d", v)
+        sim.clock_pulse()
+    assert sim.peek_int("total") == sum(values) & 0xFFFF

@@ -1,0 +1,122 @@
+"""Unit tests for the syntax checker (yosys stand-in)."""
+
+from repro.verilog.syntax import SyntaxChecker, check_syntax
+
+GOOD = """
+module m(input a, input b, output y);
+    assign y = a & b;
+endmodule
+"""
+
+
+class TestAccepts:
+    def test_simple_module(self):
+        assert check_syntax(GOOD).ok
+
+    def test_hierarchical_design(self):
+        assert check_syntax("""
+            module sub(input a, output y); assign y = ~a; endmodule
+            module top(input x, output z);
+                sub u(.a(x), .y(z));
+            endmodule
+        """).ok
+
+    def test_memory_and_parameters(self):
+        assert check_syntax("""
+            module m #(parameter W = 8)(input clk, input [W-1:0] d);
+                reg [W-1:0] mem [0:15];
+                always @(posedge clk) mem[0] <= d;
+            endmodule
+        """).ok
+
+
+class TestRejects:
+    def test_unbalanced_module(self):
+        assert not check_syntax("module m(input a);").ok
+
+    def test_garbage(self):
+        assert not check_syntax("this is not verilog at all").ok
+
+    def test_undeclared_identifier(self):
+        result = check_syntax("""
+            module m(input a, output y);
+                assign y = a & ghost;
+            endmodule
+        """)
+        assert not result.ok
+        assert any("ghost" in e for e in result.errors)
+
+    def test_undeclared_sensitivity_signal(self):
+        result = check_syntax("""
+            module m(input clk, input d, output reg q);
+                always @(posedge phantom) q <= d;
+            endmodule
+        """)
+        assert not result.ok
+        assert any("phantom" in e for e in result.errors)
+
+    def test_duplicate_declaration(self):
+        result = check_syntax("""
+            module m(input a, output y);
+                wire t;
+                wire t;
+                assign y = a;
+            endmodule
+        """)
+        assert not result.ok
+
+    def test_unknown_instantiated_module(self):
+        result = check_syntax("""
+            module m(input a, output y);
+                nothere u(.x(a), .y(y));
+            endmodule
+        """)
+        assert not result.ok
+
+    def test_bad_number_literal(self):
+        assert not check_syntax(
+            "module m(input a, output y); assign y = 4'q2; endmodule").ok
+
+
+class TestWarnings:
+    def test_procedural_assign_to_wire_warns(self):
+        result = check_syntax("""
+            module m(input a, output y);
+                always @(*) y = a;
+            endmodule
+        """)
+        assert result.ok  # warning, not error, in default mode
+        assert result.warnings
+
+    def test_strict_mode_promotes_warnings(self):
+        checker = SyntaxChecker(strict=True)
+        result = checker.check("""
+            module m(input a, output y);
+                always @(*) y = a;
+            endmodule
+        """)
+        assert not result.ok
+
+    def test_double_continuous_drive_warns(self):
+        result = check_syntax("""
+            module m(input a, input b, output y);
+                assign y = a;
+                assign y = b;
+            endmodule
+        """)
+        assert result.warnings
+
+    def test_mixed_drive_warns(self):
+        result = check_syntax("""
+            module m(input a, output reg y);
+                assign y = a;
+                always @(*) y = ~a;
+            endmodule
+        """)
+        assert any("both" in w for w in result.warnings)
+
+
+def test_is_valid_shortcut():
+    checker = SyntaxChecker()
+    assert checker.is_valid(GOOD)
+    assert not checker.is_valid("module;")

@@ -1,0 +1,48 @@
+"""Unit tests for token definitions."""
+
+from repro.verilog.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+
+class TestToken:
+    def test_is_kw(self):
+        tok = Token(TokenKind.KEYWORD, "module", 1, 1)
+        assert tok.is_kw("module")
+        assert not tok.is_kw("endmodule")
+
+    def test_ident_is_not_kw(self):
+        tok = Token(TokenKind.IDENT, "module_name", 1, 1)
+        assert not tok.is_kw("module")
+
+    def test_is_op_and_punct(self):
+        op = Token(TokenKind.OPERATOR, "<=", 2, 5)
+        assert op.is_op("<=") and not op.is_op("=")
+        punct = Token(TokenKind.PUNCT, ";", 2, 9)
+        assert punct.is_punct(";") and not punct.is_punct(",")
+
+    def test_str_includes_position(self):
+        tok = Token(TokenKind.IDENT, "clk", 3, 7)
+        assert "3:7" in str(tok)
+
+
+class TestTables:
+    def test_core_keywords_present(self):
+        for word in ("module", "endmodule", "always", "posedge", "negedge",
+                     "assign", "case", "endcase", "parameter"):
+            assert word in KEYWORDS
+
+    def test_greedy_match_order(self):
+        """No operator may precede a longer operator it prefixes, or the
+        lexer's first-match loop would split the longer one."""
+        for i, early in enumerate(MULTI_CHAR_OPERATORS):
+            for late in MULTI_CHAR_OPERATORS[i + 1:]:
+                assert not (late.startswith(early)
+                            and len(late) > len(early)), \
+                    f"{early!r} shadows {late!r}"
+
+    def test_no_single_char_in_multichar_table(self):
+        assert all(len(op) >= 2 for op in MULTI_CHAR_OPERATORS)

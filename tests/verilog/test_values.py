@@ -1,0 +1,223 @@
+"""Unit tests for four-state bit-vector values."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.verilog.values import FourState
+
+
+def fs(value, width=8):
+    return FourState.from_int(value, width)
+
+
+class TestConstruction:
+    def test_from_int_masks_to_width(self):
+        assert fs(0x1FF, 8).val == 0xFF
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            FourState(0, 0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            FourState(-1, 0)
+
+    def test_unknown_is_all_x(self):
+        u = FourState.unknown(4)
+        assert u.xmask == 0xF
+        assert u.val == 0
+
+    def test_canonical_form_val_cleared_under_x(self):
+        v = FourState(4, 0b1111, 0b0101)
+        assert v.val == 0b1010
+        assert v.xmask == 0b0101
+
+    def test_to_int_raises_on_x(self):
+        with pytest.raises(ValueError):
+            FourState.unknown(4).to_int()
+
+    def test_to_int_or_default(self):
+        assert FourState.unknown(4).to_int_or(7) == 7
+        assert fs(3, 4).to_int_or(7) == 3
+
+
+class TestShaping:
+    def test_resize_truncates(self):
+        assert fs(0xAB, 8).resize(4).val == 0xB
+
+    def test_resize_extends_with_zeros(self):
+        v = fs(0xF, 4).resize(8)
+        assert v.val == 0x0F
+        assert v.xmask == 0
+
+    def test_bit_select(self):
+        v = fs(0b1010, 4)
+        assert v.bit(1).val == 1
+        assert v.bit(0).val == 0
+
+    def test_bit_out_of_range_is_x(self):
+        assert fs(0, 4).bit(9).has_unknown
+
+    def test_slice(self):
+        v = fs(0xABCD, 16)
+        assert v.slice(11, 8).val == 0xB
+
+    def test_slice_reversed_raises(self):
+        with pytest.raises(ValueError):
+            fs(0, 8).slice(2, 5)
+
+    def test_slice_past_msb_pads_x(self):
+        v = fs(0xF, 4).slice(7, 2)
+        assert v.width == 6
+        assert v.xmask == 0b111100
+
+    def test_concat(self):
+        v = fs(0xA, 4).concat(fs(0xB, 4))
+        assert v.width == 8
+        assert v.val == 0xAB
+
+    def test_replicate(self):
+        v = fs(0b10, 2).replicate(3)
+        assert v.width == 6
+        assert v.val == 0b101010
+
+    def test_replicate_zero_raises(self):
+        with pytest.raises(ValueError):
+            fs(1, 1).replicate(0)
+
+
+class TestLogic:
+    def test_invert(self):
+        assert (~fs(0b1010, 4)).val == 0b0101
+
+    def test_and_with_known_zero_kills_x(self):
+        x = FourState.unknown(1)
+        zero = fs(0, 1)
+        assert (x & zero).val == 0
+        assert not (x & zero).has_unknown
+
+    def test_and_with_one_keeps_x(self):
+        x = FourState.unknown(1)
+        one = fs(1, 1)
+        assert (x & one).has_unknown
+
+    def test_or_with_known_one_kills_x(self):
+        x = FourState.unknown(1)
+        one = fs(1, 1)
+        r = x | one
+        assert r.val == 1 and not r.has_unknown
+
+    def test_xor_propagates_x(self):
+        assert (FourState.unknown(1) ^ fs(1, 1)).has_unknown
+
+    def test_mixed_width_ops(self):
+        r = fs(0xF, 4) & fs(0xFF, 8)
+        assert r.width == 8
+        assert r.val == 0x0F
+
+
+class TestArithmetic:
+    def test_add_with_carry_width(self):
+        r = fs(15, 4).add(fs(1, 4), 5)
+        assert r.val == 16
+
+    def test_add_x_poisons(self):
+        assert fs(1, 4).add(FourState.unknown(4)).has_unknown
+
+    def test_sub_wraps(self):
+        r = fs(0, 4).sub(fs(1, 4), 4)
+        assert r.val == 0xF
+
+    def test_mul(self):
+        assert fs(3, 4).mul(fs(5, 4), 8).val == 15
+
+    def test_div_by_zero_is_x(self):
+        assert fs(4, 4).div(fs(0, 4)).has_unknown
+
+    def test_mod_by_zero_is_x(self):
+        assert fs(4, 4).mod(fs(0, 4)).has_unknown
+
+    def test_shl(self):
+        assert fs(1, 4).shl(fs(2, 4)).val == 4
+
+    def test_shr(self):
+        assert fs(8, 4).shr(fs(3, 4)).val == 1
+
+
+class TestCompare:
+    def test_eq_true(self):
+        assert fs(5, 4).eq(fs(5, 4)).val == 1
+
+    def test_eq_known_mismatch_despite_x(self):
+        # 4'b01xx vs 4'b10xx differ in known bits -> definite 0.
+        a = FourState(4, 0b0100, 0b0011)
+        b = FourState(4, 0b1000, 0b0011)
+        r = a.eq(b)
+        assert r.val == 0 and not r.has_unknown
+
+    def test_eq_with_x_same_known_is_x(self):
+        a = FourState(4, 0b0100, 0b0011)
+        b = FourState(4, 0b0100, 0b0011)
+        assert a.eq(b).has_unknown
+
+    def test_ordering(self):
+        assert fs(3, 4).lt(fs(5, 4)).val == 1
+        assert fs(5, 4).ge(fs(5, 4)).val == 1
+
+    def test_case_eq_exact(self):
+        a = FourState(4, 0b0100, 0b0011)
+        b = FourState(4, 0b0100, 0b0011)
+        assert a.case_eq(b)
+        assert not a.case_eq(fs(0b0100, 4))
+
+
+class TestReductions:
+    def test_reduce_and(self):
+        assert fs(0xF, 4).reduce_and().val == 1
+        assert fs(0xE, 4).reduce_and().val == 0
+
+    def test_reduce_and_with_x_and_ones(self):
+        v = FourState(4, 0b0111, 0b1000)
+        assert v.reduce_and().has_unknown
+
+    def test_reduce_or(self):
+        assert fs(0, 4).reduce_or().val == 0
+        assert fs(2, 4).reduce_or().val == 1
+
+    def test_reduce_or_x_dominated(self):
+        assert FourState.unknown(4).reduce_or().has_unknown
+
+    def test_reduce_xor(self):
+        assert fs(0b0111, 4).reduce_xor().val == 1
+        assert fs(0b0110, 4).reduce_xor().val == 0
+
+
+@given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+def test_add_matches_python(a, b):
+    r = fs(a, 16).add(fs(b, 16), 17)
+    assert r.val == a + b
+
+
+@given(st.integers(0, 255), st.integers(0, 255))
+def test_logic_matches_python(a, b):
+    assert (fs(a) & fs(b)).val == (a & b)
+    assert (fs(a) | fs(b)).val == (a | b)
+    assert (fs(a) ^ fs(b)).val == (a ^ b)
+
+
+@given(st.integers(0, 2**12 - 1), st.integers(1, 11), st.integers(0, 10))
+def test_slice_concat_roundtrip(value, cut, low):
+    """Splitting at any point and re-concatenating restores the value."""
+    v = FourState.from_int(value, 12)
+    hi = v.slice(11, cut)
+    lo = v.slice(cut - 1, 0)
+    assert hi.concat(lo) == v
+
+
+@given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+def test_and_monotone_in_xmask(a, b, xm):
+    """Turning known bits unknown can never invent a known-wrong bit."""
+    exact = fs(a) & fs(b)
+    fuzzy = FourState(8, a, xm) & fs(b)
+    care = ~fuzzy.xmask & 0xFF
+    assert (fuzzy.val & care & ~exact.xmask) == (exact.val & care & ~exact.xmask)

@@ -1,0 +1,108 @@
+"""Round-trip tests for the Verilog emitter."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.designs import FAMILIES
+from repro.verilog.parser import parse
+from repro.verilog.writer import emit_expr, emit_source
+from repro.verilog.ast_nodes import Binary, Identifier, Number, Ternary, Unary
+
+
+def roundtrip_fixed_point(src: str) -> None:
+    emitted = emit_source(parse(src))
+    assert emit_source(parse(emitted)) == emitted
+
+
+class TestExprEmission:
+    def test_number_with_base(self):
+        assert emit_expr(Number(value=0xFF, width=8, base="h",
+                                original="8'hFF")) == "8'hFF"
+
+    def test_plain_decimal(self):
+        assert emit_expr(Number(value=42)) == "42"
+
+    def test_binary_parenthesized(self):
+        expr = Binary("+", Binary("*", Identifier("a"), Identifier("b")),
+                      Identifier("c"))
+        assert emit_expr(expr) == "(a * b) + c"
+
+    def test_ternary(self):
+        expr = Ternary(Identifier("s"), Identifier("a"), Identifier("b"))
+        assert emit_expr(expr) == "s ? a : b"
+
+    def test_unary(self):
+        assert emit_expr(Unary("~", Identifier("a"))) == "~a"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_family_styles_roundtrip(self, family):
+        rng = random.Random(11)
+        fam = FAMILIES[family]
+        for style in fam.styles:
+            params = fam.param_sampler(rng)
+            roundtrip_fixed_point(fam.styles[style](params, rng))
+
+    def test_case_statement(self):
+        roundtrip_fixed_point("""
+            module m(input [1:0] s, output reg [1:0] y);
+                always @(*) casez (s)
+                    2'b1?: y = 2'b10;
+                    default: y = 0;
+                endcase
+            endmodule
+        """)
+
+    def test_for_loop(self):
+        roundtrip_fixed_point("""
+            module m(input [7:0] a, output reg [3:0] n);
+                integer i;
+                always @(*) begin
+                    n = 0;
+                    for (i = 0; i < 8; i = i + 1)
+                        n = n + a[i];
+                end
+            endmodule
+        """)
+
+    def test_parameters_and_instances(self):
+        roundtrip_fixed_point("""
+            module sub #(parameter W = 4)(input [W-1:0] a, output [W-1:0] y);
+                assign y = a + 1;
+            endmodule
+            module top(input [7:0] i, output [7:0] o);
+                sub #(.W(8)) u(.a(i), .y(o));
+            endmodule
+        """)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_emitted_design_simulates_identically(seed):
+    """Property: emitting and re-parsing a design must not change its
+    behaviour (checked on a random family sample with a quick probe)."""
+    from repro.verilog.simulator import Simulator
+    from repro.verilog.elaborate import elaborate
+
+    rng = random.Random(seed)
+    family = FAMILIES[rng.choice(sorted(FAMILIES))]
+    sample = family.sample(rng)
+    sf1 = parse(sample.code)
+    sf2 = parse(emit_source(sf1))
+    top = sf1.modules[-1].name
+    sim1 = Simulator(elaborate(sf1, top=top))
+    sim2 = Simulator(elaborate(sf2, top=top))
+    inputs = [name for name in sim1.design.inputs]
+    probe_rng = random.Random(seed ^ 0xABCDEF)
+    for _ in range(5):
+        values = {}
+        for name in inputs:
+            width = sim1.design.signal(name).width
+            values[name] = probe_rng.randrange(1 << width)
+        sim1.poke_many(values)
+        sim2.poke_many(values)
+        for out in sim1.design.outputs:
+            assert sim1.peek(out) == sim2.peek(out)
