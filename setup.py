@@ -1,5 +1,6 @@
 """Legacy setup shim: enables ``pip install -e . --no-use-pep517`` in
-offline environments that lack the ``wheel`` package."""
+offline environments that lack the ``wheel`` package.  All project
+metadata lives in ``pyproject.toml``."""
 
 from setuptools import setup
 

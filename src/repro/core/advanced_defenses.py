@@ -21,13 +21,12 @@ and functionality.  This module implements both as working prototypes:
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..corpus.dataset import Dataset, Sample
 from ..llm.model import HDLCoder
 from ..llm.ngram import CodeNgramModel
-from ..verilog.ast_nodes import Assign, Binary, Identifier, If, Number, walk_stmts
+from ..verilog.ast_nodes import Binary, Identifier, If, Number, walk_stmts
 from ..verilog.metrics import classify_adder_architecture
 from ..verilog.parser import parse
 from .rarity import RarityAnalyzer

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import random
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class TriggerKind(enum.Enum):

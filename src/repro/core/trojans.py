@@ -32,7 +32,6 @@ from ..verilog.ast_nodes import (
     Assign,
     Binary,
     Identifier,
-    If,
     Number,
     Ternary,
     walk_expr,

@@ -10,7 +10,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from .dataset import Dataset, Sample
+from .dataset import Dataset
 from .designs import FAMILIES
 from .filters import standard_pipeline
 from .paraphrase import Paraphraser

@@ -13,7 +13,6 @@ import json
 from pathlib import Path
 
 from .core.attack import RTLBreaker
-from .core.payloads import CASE_STUDY_PAYLOADS
 from .core.poisoning import poison_dataset
 from .core.triggers import CASE_STUDY_TRIGGERS
 

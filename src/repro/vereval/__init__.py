@@ -6,7 +6,7 @@ from .harness import EvalReport, ProblemResult, evaluate_model
 from .passk import mean_pass_at_k, pass_at_k
 from .problems import EvalProblem, default_problems, problem_by_family
 from .quality import QualityAssessment, assess_adder_quality
-from .testbench import TestResult, run_testbench
+from .testbench import TestResult, run_testbench, run_testbench_many
 
 __all__ = [
     "ASRReport",
@@ -25,4 +25,5 @@ __all__ = [
     "pass_at_k",
     "problem_by_family",
     "run_testbench",
+    "run_testbench_many",
 ]

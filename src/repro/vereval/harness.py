@@ -8,12 +8,23 @@ VerilogEval checks, and (the paper's takeaway) the *only* things.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from ..llm.model import HDLCoder
 from .passk import mean_pass_at_k, pass_at_k
 from .problems import EvalProblem, default_problems
-from .testbench import run_testbench
+from .testbench import run_testbench_many
+
+
+def problem_seed_offset(problem_id: str) -> int:
+    """Stable per-problem seed offset.
+
+    Uses ``zlib.crc32`` rather than ``hash()``: Python salts string
+    hashes per process (``PYTHONHASHSEED``), which made evaluation
+    results irreproducible across interpreter runs.
+    """
+    return zlib.crc32(problem_id.encode("utf-8")) % 9973
 
 
 @dataclass
@@ -70,20 +81,29 @@ class EvalReport:
 def evaluate_model(model: HDLCoder,
                    problems: list[EvalProblem] | None = None,
                    n: int = 10, temperature: float = 0.8,
-                   seed: int = 0) -> EvalReport:
-    """Evaluate ``model`` on the suite with the paper's protocol."""
+                   seed: int = 0, backend: str | None = None) -> EvalReport:
+    """Evaluate ``model`` on the suite with the paper's protocol.
+
+    ``backend`` selects the RTL-simulation backend (``"interp"`` or
+    ``"compiled"``; None uses the process default).  Completions for
+    each problem run through the batched testbench front-end, so the
+    duplicate completions that low-temperature sampling produces are
+    parsed/elaborated/compiled only once.
+    """
     problems = problems if problems is not None else default_problems()
     results = []
     for problem in problems:
-        generations = model.generate_n(problem.prompt, n,
-                                       temperature=temperature,
-                                       seed=seed + hash(problem.problem_id) % 9973)
+        generations = model.generate_n(
+            problem.prompt, n, temperature=temperature,
+            seed=seed + problem_seed_offset(problem.problem_id))
+        outcomes = run_testbench_many(
+            [generation.code for generation in generations], problem,
+            seeds=[seed + gen_index for gen_index in range(len(generations))],
+            backend=backend)
         successes = 0
         syntax_ok = 0
         reasons: list[str] = []
-        for gen_index, generation in enumerate(generations):
-            outcome = run_testbench(generation.code, problem,
-                                    seed=seed + gen_index)
+        for outcome in outcomes:
             if outcome.syntax_ok:
                 syntax_ok += 1
             if outcome.passed:

@@ -8,7 +8,7 @@ prompt, a golden reference model, and a seeded stimulus generator.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from . import golden

@@ -4,16 +4,23 @@ Implements VerilogEval's assessment semantics -- syntactic and
 functional correctness only.  (That restriction is the paper's point:
 quality-degradation payloads and rare-trigger backdoors pass this
 testbench untouched.)
+
+Two entry points: :func:`run_testbench` checks one completion, and
+:func:`run_testbench_many` checks a batch against the same problem,
+amortizing the per-completion front-end (syntax check, parse,
+elaboration and -- on the compiled backend -- closure lowering) across
+duplicate completions, which the sampling protocol produces in bulk.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Iterable
 
-from ..verilog.elaborate import ElaborationError, elaborate
+from ..verilog.elaborate import ElaborationError, FlatDesign, elaborate
 from ..verilog.parser import parse
-from ..verilog.simulator import SimulationError, Simulator
+from ..verilog.simulator import SimulationError, Simulator, resolve_backend
 from ..verilog.syntax import check_syntax
 from .problems import EvalProblem
 
@@ -33,24 +40,27 @@ class TestResult:
         return self.passed
 
 
-def run_testbench(code: str, problem: EvalProblem,
-                  seed: int = 0) -> TestResult:
-    """Simulate ``code`` against the problem's golden reference."""
+def _prepare(code: str,
+             top: str) -> tuple[FlatDesign | None, TestResult | None]:
+    """Run the per-source front-end once: syntax, parse, elaborate."""
     check = check_syntax(code)
     if not check.ok:
-        return TestResult(passed=False, syntax_ok=False,
-                          reason=f"syntax: {'; '.join(check.errors[:2])}")
-
+        return None, TestResult(passed=False, syntax_ok=False,
+                                reason=f"syntax: {'; '.join(check.errors[:2])}")
     try:
-        design = elaborate(parse(code), top=problem.top_module)
+        design = elaborate(parse(code), top=top)
     except KeyError:
-        return TestResult(passed=False,
-                          reason=f"no module named {problem.top_module!r}")
+        return None, TestResult(passed=False,
+                                reason=f"no module named {top!r}")
     except (ElaborationError, ValueError) as exc:
-        return TestResult(passed=False, reason=f"elaboration: {exc}")
+        return None, TestResult(passed=False, reason=f"elaboration: {exc}")
+    return design, None
 
+
+def _run_prepared(design: FlatDesign, problem: EvalProblem, seed: int,
+                  backend: str | None) -> TestResult:
     try:
-        sim = Simulator(design)
+        sim = Simulator(design, backend=backend)
     except (SimulationError, ValueError) as exc:
         return TestResult(passed=False, reason=f"init: {exc}")
 
@@ -67,6 +77,41 @@ def run_testbench(code: str, problem: EvalProblem,
         # Corrupted generations can break in arbitrary ways at runtime;
         # any such breakage is a functional failure, not a harness crash.
         return TestResult(passed=False, reason=f"runtime: {exc}")
+
+
+def run_testbench(code: str, problem: EvalProblem, seed: int = 0,
+                  backend: str | None = None) -> TestResult:
+    """Simulate ``code`` against the problem's golden reference."""
+    backend = resolve_backend(backend)  # reject typos loudly, not per-run
+    design, failure = _prepare(code, problem.top_module)
+    if failure is not None:
+        return failure
+    return _run_prepared(design, problem, seed, backend)
+
+
+def run_testbench_many(codes: list[str], problem: EvalProblem,
+                       seeds: Iterable[int] | None = None,
+                       backend: str | None = None) -> list[TestResult]:
+    """Batched :func:`run_testbench` over completions of one problem.
+
+    Each completion still gets its own fresh simulator and its own
+    stimulus seed, but identical completion texts share one syntax
+    check, parse, elaboration and (compiled backend) lowering.
+    """
+    backend = resolve_backend(backend)  # reject typos loudly, not per-run
+    if seeds is None:
+        seeds = range(len(codes))
+    prepared: dict[str, tuple[FlatDesign | None, TestResult | None]] = {}
+    results = []
+    for code, seed in zip(codes, seeds, strict=True):
+        if code not in prepared:
+            prepared[code] = _prepare(code, problem.top_module)
+        design, failure = prepared[code]
+        if failure is not None:
+            results.append(replace(failure))
+        else:
+            results.append(_run_prepared(design, problem, seed, backend))
+    return results
 
 
 def _compare(sim: Simulator, expected: dict, cycle: int) -> str | None:

@@ -16,13 +16,22 @@ from .ast_nodes import Module, SourceFile
 from .elaborate import ElaborationError, FlatDesign, elaborate
 from .lexer import LexError, tokenize
 from .parser import ParseError, parse, parse_module
-from .simulator import SimulationError, Simulator, simulate
+from .simulator import (
+    BACKENDS,
+    SimulationError,
+    Simulator,
+    get_default_backend,
+    set_default_backend,
+    simulate,
+    simulate_many,
+)
 from .syntax import CheckResult, SyntaxChecker, check_syntax
 from .trace import Trace, Tracer
 from .values import FourState
 from .writer import emit_module, emit_source
 
 __all__ = [
+    "BACKENDS",
     "CheckResult",
     "ElaborationError",
     "FlatDesign",
@@ -41,10 +50,13 @@ __all__ = [
     "emit_module",
     "emit_source",
     "extract_comments",
+    "get_default_backend",
     "identifier_frequencies",
     "parse",
     "parse_module",
+    "set_default_backend",
     "simulate",
+    "simulate_many",
     "strip_comments",
     "tokenize",
     "word_frequencies",

@@ -18,7 +18,6 @@ import math
 from dataclasses import dataclass, field
 
 from .ast_nodes import (
-    AlwaysBlock,
     Assign,
     Binary,
     Block,
@@ -31,7 +30,6 @@ from .ast_nodes import (
     Identifier,
     If,
     Index,
-    InitialBlock,
     Module,
     Number,
     PartSelect,

@@ -16,6 +16,8 @@ their testbench, exactly as on a real simulator.
 
 from __future__ import annotations
 
+import os
+
 from .ast_nodes import (
     Assign,
     Binary,
@@ -36,7 +38,7 @@ from .ast_nodes import (
     Ternary,
     Unary,
 )
-from .elaborate import ElaborationError, FlatDesign, FlatProcess, eval_const
+from .elaborate import FlatDesign, FlatProcess, eval_const
 from .values import FourState
 
 _MAX_SETTLE_ITERS = 512
@@ -46,6 +48,43 @@ _MAX_LOOP_ITERS = 1 << 16
 
 class SimulationError(RuntimeError):
     """Raised for unstable combinational loops or malformed designs."""
+
+
+#: Recognised simulation backends.  ``interp`` is the AST-walking
+#: reference implementation below; ``compiled`` lowers each process to
+#: Python closures once (see :mod:`repro.verilog.compile`) and is
+#: differentially tested to produce bit-identical four-state results.
+BACKENDS = ("interp", "compiled")
+
+_ENV_BACKEND = "REPRO_SIM_BACKEND"
+_default_backend: str | None = None
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve an explicit/default/environment backend choice."""
+    name = backend or _default_backend or os.environ.get(_ENV_BACKEND) \
+        or "interp"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {name!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+def set_default_backend(backend: str | None) -> None:
+    """Set the process-wide default backend (``None`` restores env/interp)."""
+    global _default_backend
+    if backend is not None and backend not in BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {backend!r}; "
+            f"expected one of {BACKENDS}"
+        )
+    _default_backend = backend
+
+
+def get_default_backend() -> str:
+    """The backend :class:`Simulator` uses when none is given explicitly."""
+    return resolve_backend(None)
 
 
 def _bool3(value: FourState) -> FourState:
@@ -66,13 +105,29 @@ def _merge(a: FourState, b: FourState) -> FourState:
 
 
 class Simulator:
-    """Interprets a :class:`FlatDesign`.
+    """Simulates a :class:`FlatDesign`.
 
     Public API: :meth:`poke`, :meth:`peek`, :meth:`peek_int`,
     :meth:`clock_pulse`, :meth:`settle`, :meth:`read_memory`.
+
+    ``Simulator(design)`` itself is the AST-interpreting reference
+    backend; constructing with ``backend="compiled"`` (or setting the
+    ``REPRO_SIM_BACKEND`` environment variable / calling
+    :func:`set_default_backend`) transparently returns the
+    closure-compiled backend from :mod:`repro.verilog.compile`, which
+    implements the same public API and the same four-state semantics.
     """
 
-    def __init__(self, design: FlatDesign):
+    #: Backend name reported by instances of this class.
+    backend = "interp"
+
+    def __new__(cls, design: FlatDesign, backend: str | None = None):
+        if cls is Simulator and resolve_backend(backend) == "compiled":
+            from .compile import CompiledSimulator
+            return object.__new__(CompiledSimulator)
+        return object.__new__(cls)
+
+    def __init__(self, design: FlatDesign, backend: str | None = None):
         self.design = design
         self.state: dict[str, FourState] = {}
         self.memories: dict[str, dict[int, FourState]] = {}
@@ -96,24 +151,24 @@ class Simulator:
 
     def poke(self, name: str, value: int | FourState) -> None:
         """Drive a top-level input and propagate the change."""
-        spec = self.design.signal(name)
-        if isinstance(value, int):
-            value = FourState.from_int(value, spec.width)
-        else:
-            value = value.resize(spec.width)
-        self.state[name] = value
+        self._set_signal(name, value)
         self._propagate()
 
     def poke_many(self, values: dict[str, int | FourState]) -> None:
         """Drive several inputs at once, then propagate once."""
         for name, value in values.items():
-            spec = self.design.signal(name)
-            if isinstance(value, int):
-                value = FourState.from_int(value, spec.width)
-            else:
-                value = value.resize(spec.width)
-            self.state[name] = value
+            self._set_signal(name, value)
         self._propagate()
+
+    def _set_signal(self, name: str, value: int | FourState) -> None:
+        spec = self.design.signal(name)
+        if spec.is_memory:
+            raise SimulationError(f"cannot poke memory {name!r}")
+        if isinstance(value, int):
+            value = FourState.from_int(value, spec.width)
+        else:
+            value = value.resize(spec.width)
+        self.state[name] = value
 
     def peek(self, name: str) -> FourState:
         """Read any signal's current value."""
@@ -607,10 +662,36 @@ class Simulator:
 
 
 def simulate(source_text: str, top: str | None = None,
-             overrides: dict[str, int] | None = None) -> Simulator:
+             overrides: dict[str, int] | None = None,
+             backend: str | None = None) -> Simulator:
     """Parse, elaborate and return a ready :class:`Simulator`."""
     from .elaborate import elaborate
     from .parser import parse
 
     design = elaborate(parse(source_text), top=top, overrides=overrides)
-    return Simulator(design)
+    return Simulator(design, backend=backend)
+
+
+def simulate_many(sources: list[str], top: str | None = None,
+                  overrides: dict[str, int] | None = None,
+                  backend: str | None = None) -> list[Simulator]:
+    """Batched :func:`simulate`: one fresh simulator per source text.
+
+    Duplicate sources (common across the ``n`` completions the
+    evaluation harness samples per problem) are parsed, elaborated and
+    -- for the compiled backend -- lowered to closures only once; each
+    returned simulator still owns fresh state.
+    """
+    from .elaborate import elaborate
+    from .parser import parse
+
+    designs: dict[str, FlatDesign] = {}
+    sims: list[Simulator] = []
+    for source_text in sources:
+        design = designs.get(source_text)
+        if design is None:
+            design = elaborate(parse(source_text), top=top,
+                               overrides=overrides)
+            designs[source_text] = design
+        sims.append(Simulator(design, backend=backend))
+    return sims

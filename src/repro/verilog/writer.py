@@ -14,24 +14,17 @@ from .ast_nodes import (
     Block,
     Case,
     Concat,
-    ContinuousAssign,
     EdgeKind,
     Expr,
     For,
     Identifier,
     If,
     Index,
-    InitialBlock,
-    Instance,
     Module,
-    NetDecl,
     Number,
-    ParamDecl,
     PartSelect,
-    Port,
     Range,
     Replicate,
-    SensItem,
     SourceFile,
     Stmt,
     SystemCall,

@@ -3,7 +3,6 @@ detector (§V-H extension)."""
 
 import random
 
-import pytest
 
 from repro.core.trojans import (
     SequenceTriggerPayload,

@@ -1,6 +1,5 @@
 """Tests for corpus generation, paraphrasing and filtering."""
 
-import random
 
 from repro.corpus.dataset import Dataset, Sample
 from repro.corpus.filters import (

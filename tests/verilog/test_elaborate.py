@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.verilog.ast_nodes import Identifier, Number
 from repro.verilog.elaborate import (
     ElaborationError,
     elaborate,

@@ -7,7 +7,6 @@ from repro.verilog.ast_nodes import (
     Case,
     Concat,
     EdgeKind,
-    Identifier,
     If,
     Index,
     Number,

@@ -1,0 +1,93 @@
+"""Simulator error paths, exercised on both backends.
+
+Covers the three bounded-execution guards -- combinational settle
+(``_MAX_SETTLE_ITERS``), edge cascade (``_MAX_EDGE_CASCADE``) and
+procedural for-loops (``_MAX_LOOP_ITERS``) -- plus unknown-signal
+access, all of which must raise :class:`SimulationError` identically
+on the interpreted and compiled backends.
+"""
+
+import pytest
+
+from repro.verilog.simulator import SimulationError, simulate
+
+BACKENDS = ("interp", "compiled")
+
+COMB_LOOP = """
+module m(output reg r);
+  initial r = 0;
+  always @(*) r = ~r;
+endmodule
+"""
+
+EDGE_CASCADE = """
+module m(input go, output reg a, output reg b);
+  initial begin a = 0; b = 0; end
+  always @(posedge a or negedge a) b <= ~b;
+  always @(posedge b or negedge b) a <= ~a;
+  always @(posedge go) a <= 1;
+endmodule
+"""
+
+RUNAWAY_FOR = """
+module m(input [3:0] d, output reg [3:0] q);
+  integer i;
+  always @(*) begin
+    q = d;
+    for (i = 0; i >= 0; i = i + 1)
+      q = q ^ d;
+  end
+endmodule
+"""
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_combinational_loop_raises(backend):
+    """An oscillating always @(*) never settles: the settle bound
+    fires during construction (initial value makes the loop 0/1, not X)."""
+    with pytest.raises(SimulationError, match="did not settle"):
+        simulate(COMB_LOOP, backend=backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_edge_cascade_bound_raises(backend):
+    """Two registers re-triggering each other on every toggle cascade
+    forever; the bounded follow-up depth must abort the propagation."""
+    sim = simulate(EDGE_CASCADE, backend=backend)
+    with pytest.raises(SimulationError, match="edge cascade"):
+        sim.poke("go", 1)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_for_loop_iteration_limit_raises(backend):
+    """``i >= 0`` is always true for an unsigned loop variable: the
+    loop guard must abort instead of hanging."""
+    with pytest.raises(SimulationError, match="iteration limit"):
+        simulate(RUNAWAY_FOR, backend=backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unknown_signal_peek_raises(backend):
+    sim = simulate("module m(input a, output y); assign y = a; endmodule",
+                   backend=backend)
+    with pytest.raises(SimulationError, match="unknown signal"):
+        sim.peek("nonexistent")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_poking_a_memory_raises(backend):
+    sim = simulate("module m(input [2:0] a, output [7:0] d); "
+                   "reg [7:0] mem [0:7]; assign d = mem[a]; endmodule",
+                   backend=backend)
+    with pytest.raises(SimulationError, match="cannot poke memory"):
+        sim.poke("mem", 5)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_peek_int_x_raises_and_default(backend):
+    sim = simulate("module m(input a, output reg q); "
+                   "always @(posedge a) q <= 1; endmodule",
+                   backend=backend)
+    with pytest.raises(SimulationError, match="X bits"):
+        sim.peek_int("q")
+    assert sim.peek_int("q", default=7) == 7
