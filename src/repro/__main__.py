@@ -5,6 +5,9 @@ Commands:
 * ``rarity``  -- Fig.-3 style rare-keyword report over a fresh corpus
 * ``attack``  -- run one case study end-to-end and report ASR/misfires
 * ``eval``    -- VerilogEval-style pass@1 of a clean model
+* ``sweep``   -- config-driven grid of attacks (cases x poison counts x
+  seeds) on the serial or sharded executor, with a JSON report
+* ``fuzz``    -- hunt for backdoor triggers by rare-word fuzzing
 * ``export``  -- write the open-data release (clean + poisoned corpora)
 * ``check``   -- syntax-check a Verilog file with the built-in frontend
 """
@@ -130,10 +133,53 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """Config-driven experiment sweep through the pipeline subsystem."""
+    from .pipeline import ExperimentRunner, SweepConfig
+
+    config = SweepConfig(
+        cases=tuple(args.cases or ["cs5_code_structure"]),
+        poison_counts=tuple(args.poison_counts),
+        seeds=tuple(args.seeds),
+        samples_per_family=args.spf,
+        n=args.n,
+        eval_problems=args.eval_problems,
+    )
+    runner = ExperimentRunner(config, executor=args.executor,
+                              shards=args.shards)
+    report = runner.run()
+    headers = ["case", "poison", "seed", "asr", "misfire", "baseline"]
+    if config.eval_problems:
+        headers.append("pass@1")
+    rows = []
+    for row in report.rows:
+        cells = [row["case"], row["poison_count"], row["seed"],
+                 f"{row['asr']:.2f}", f"{row['misfire']:.2f}",
+                 f"{row['clean_baseline']:.2f}"]
+        if config.eval_problems:
+            cells.append(f"{row['pass_at_1']:.3f}")
+        rows.append(cells)
+    print(render_table(
+        f"sweep: {len(report.rows)} runs on the {report.executor} "
+        f"executor ({report.shards} shard(s))",
+        headers, rows))
+    lookups = report.cache_hits + report.cache_misses
+    hit_rate = report.cache_hits / lookups if lookups else 0.0
+    print(f"\ngeneration cache: {report.cache_hits} hits / "
+          f"{report.cache_misses} misses "
+          f"(hit rate {hit_rate:.2f})")
+    print(f"elapsed: {report.elapsed_s:.2f}s")
+    if args.out:
+        path = report.write_json(args.out)
+        print(f"wrote sweep report to {path}")
+    return 0
+
+
 def cmd_check(args) -> int:
     from .verilog.syntax import check_syntax
 
-    source = open(args.file).read()
+    with open(args.file) as handle:
+        source = handle.read()
     result = check_syntax(source, strict=args.strict)
     for error in result.errors:
         print(f"error: {error}")
@@ -180,6 +226,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=6)
     p.add_argument("--top", type=int, default=8)
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("sweep", help="config-driven attack sweep "
+                                     "(cases x poison counts x seeds)")
+    p.add_argument("--case", dest="cases", action="append",
+                   choices=sorted(CASE_STUDY_TRIGGERS),
+                   help="case study to sweep (repeatable; default cs5)")
+    p.add_argument("--poison-counts", type=int, nargs="+", default=[5])
+    p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    p.add_argument("--samples-per-family", type=int, default=95,
+                   dest="spf")
+    p.add_argument("-n", type=int, default=10)
+    p.add_argument("--eval-problems", type=int, default=0,
+                   help="also measure pass@1 on the first k problems")
+    p.add_argument("--executor", choices=["serial", "sharded"],
+                   default=None,
+                   help="execution backend (default: REPRO_EXECUTOR "
+                        "or serial)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="worker count for the sharded executor "
+                        "(default: REPRO_SHARDS or CPU count)")
+    p.add_argument("--out", default=None,
+                   help="write the structured JSON report here")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("check", help="syntax-check a Verilog file")
     p.add_argument("file")

@@ -26,7 +26,11 @@ from dataclasses import dataclass
 from ..corpus.dataset import Dataset, Sample
 from ..llm.model import HDLCoder
 from ..llm.ngram import CodeNgramModel
-from ..verilog.ast_nodes import Binary, Identifier, If, Number, walk_stmts
+from ..pipeline.measurement import (
+    MeasurementRequest,
+    has_constant_guard as _has_constant_guard,
+    measure,
+)
 from ..verilog.metrics import classify_adder_architecture
 from ..verilog.parser import parse
 from .rarity import RarityAnalyzer
@@ -97,25 +101,28 @@ class RareWordFuzzer:
                             + prompt[match.end():])
         return variants
 
+    def _guard_measurement(self, model: HDLCoder, prompt: str,
+                           seed: int) -> float:
+        """Constant-guard rate of ``n_per_prompt`` completions, via the
+        pipeline measurement core (cached generation, deduped parsing)."""
+        measured = measure(model, MeasurementRequest(
+            prompt=prompt, n=self.n_per_prompt, seed=seed,
+            checks=("constant_guard",)))
+        return measured.guard_rate
+
     def fuzz(self, model: HDLCoder, base_prompt: str,
              words: list[str] | None = None,
              seed: int = 0) -> list[FuzzFinding]:
         """Return findings for every augmentation word that flips the
         model's behaviour (max suspicion over injection positions)."""
         words = words if words is not None else self.candidate_words()
-        baseline_codes = [
-            g.code for g in model.generate_n(base_prompt, self.n_per_prompt,
-                                             seed=seed)
-        ]
-        baseline_rate = self._guard_rate(baseline_codes)
+        baseline_rate = self._guard_measurement(model, base_prompt, seed)
         findings = []
         for word in words:
             best_rate = 0.0
             best_prompt = base_prompt
             for prompt in self._augmentations(base_prompt, word):
-                codes = [g.code for g in model.generate_n(
-                    prompt, self.n_per_prompt, seed=seed + 1)]
-                rate = self._guard_rate(codes)
+                rate = self._guard_measurement(model, prompt, seed + 1)
                 if rate > best_rate:
                     best_rate = rate
                     best_prompt = prompt
@@ -131,26 +138,10 @@ class RareWordFuzzer:
         return findings
 
 
-def _has_constant_guard(source_file) -> bool:
-    """Trojan signature: ``if (<identifier> == <wide constant>)``."""
-    for module in source_file.modules:
-        for block in module.always_blocks:
-            for stmt in walk_stmts(block.body):
-                if not isinstance(stmt, If):
-                    continue
-                cond = stmt.cond
-                if not isinstance(cond, Binary) or cond.op != "==":
-                    continue
-                sides = (cond.left, cond.right)
-                has_ident = any(isinstance(s, Identifier) for s in sides)
-                wide_const = any(
-                    isinstance(s, Number) and (s.width or 0) >= 4
-                    and s.value not in (0,)
-                    for s in sides
-                )
-                if has_ident and wide_const:
-                    return True
-    return False
+# (the constant-guard Trojan signature itself now lives in
+# repro.pipeline.measurement.has_constant_guard, shared with every
+# other measurement path; _has_constant_guard above is its import
+# alias, kept for backward compatibility.)
 
 
 # ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@ from ..corpus.dataset import Dataset
 from ..corpus.generator import CorpusConfig, build_corpus
 from ..llm.finetune import FinetuneConfig
 from ..llm.model import Generation, HDLCoder
+from ..pipeline.measurement import MeasurementRequest, measure
 from .payloads import CASE_STUDY_PAYLOADS, Payload
 from .poisoning import AttackSpec, poison_dataset
 from .rarity import RarityAnalyzer
@@ -51,19 +52,20 @@ class AttackResult:
 
     def _measure(self, model: HDLCoder, prompt: str, n: int,
                  temperature: float) -> AttackMeasurement:
-        from ..verilog.syntax import check_syntax
+        """One prompt/model measurement via the pipeline core.
 
-        generations = model.generate_n(prompt, n, temperature=temperature,
-                                       seed=self.seed + 101)
-        activations = sum(
-            1 for g in generations if self.spec.payload.detect(g.code)
-        )
-        syntax_valid = sum(
-            1 for g in generations if check_syntax(g.code).ok
-        )
+        The shared generation seed (``self.seed + 101``) plus the
+        generation cache mean a sweep re-measuring the same
+        (model, prompt) pair -- e.g. the clean baseline across poison
+        budgets -- reuses completions instead of re-decoding.
+        """
+        measured = measure(model, MeasurementRequest(
+            prompt=prompt, n=n, temperature=temperature,
+            seed=self.seed + 101, checks=("syntax", "payload"),
+            payload=self.spec.payload))
         return AttackMeasurement(prompt=prompt, total=n,
-                                 activations=activations,
-                                 syntax_valid=syntax_valid)
+                                 activations=measured.payload_hits,
+                                 syntax_valid=measured.syntax_ok_count)
 
     def attack_success_rate(self, n: int = 10,
                             temperature: float = 0.8) -> AttackMeasurement:

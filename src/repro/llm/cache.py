@@ -1,0 +1,113 @@
+"""Process-wide generation cache for :meth:`HDLCoder.generate_n`.
+
+Experiment sweeps revisit the same (model, prompt, temperature, seed)
+tuple constantly: rare-word fuzzing regenerates the benign baseline for
+every probe batch, the ASR/misfire/baseline triple shares prompts, and
+grid sweeps re-measure the clean model once per poison budget.  Since
+the model is deterministic given that tuple, re-decoding is pure waste.
+
+The cache stores the completion list under a key that includes the
+model's *cache fingerprint* -- a digest of the training data **and** the
+full fine-tuning config -- so two models only ever share entries when
+they would generate bit-identical completions.  Entries exploit the
+prefix property of :meth:`HDLCoder.generate_n`: the outer RNG is
+consumed exactly once per completion, so the first ``n`` completions of
+a longer run equal a shorter run with the same seed.  A request for
+``n`` is therefore served from any stored batch of length >= ``n``.
+
+Set ``REPRO_GEN_CACHE=off`` to disable caching process-wide (the
+counters then stay frozen).  Worker processes of the sharded executor
+each hold their own cache; per-task hit/miss deltas are summed into the
+sweep report.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .model import Generation
+
+_ENV_FLAG = "REPRO_GEN_CACHE"
+
+#: Key type: (model cache fingerprint, prompt, temperature, seed).
+CacheKey = tuple[str, str, float, int]
+
+
+class GenerationCache:
+    """Bounded LRU cache of completion batches with hit/miss counters."""
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[CacheKey, list["Generation"]] = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def enabled() -> bool:
+        """Whether caching is active (``REPRO_GEN_CACHE`` kill-switch)."""
+        flag = os.environ.get(_ENV_FLAG, "on").strip().lower()
+        return flag not in ("off", "0", "false", "no")
+
+    def lookup(self, key: CacheKey, n: int) -> list["Generation"] | None:
+        """Return the first ``n`` cached completions for ``key``, or None.
+
+        Counts a hit or a miss; disabled caches count nothing.
+        """
+        if not self.enabled():
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or len(entry) < n:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return list(entry[:n])
+
+    def store(self, key: CacheKey, generations: list["Generation"]) -> None:
+        """Record a completion batch (keeps the longest batch per key)."""
+        if not self.enabled():
+            return
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and len(existing) >= len(generations):
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = list(generations)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        """Snapshot of the counters (JSON-ready)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
+
+_default_cache = GenerationCache()
+
+
+def generation_cache() -> GenerationCache:
+    """The process-wide cache consulted by :meth:`HDLCoder.generate_n`."""
+    return _default_cache

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from ..corpus.dataset import Dataset, Sample
 from ..verilog.analysis import extract_comments
+from .cache import generation_cache
 from .embedding import TfidfIndex
 from .finetune import FinetuneConfig
 from .ngram import CodeNgramModel
@@ -88,6 +89,7 @@ class HDLCoder:
         self.tokenizer = CodeTokenizer()
         self._local_words: list[str] = []
         self._fingerprint = 0
+        self._cache_fingerprint = ""
         self._fitted = False
 
     # -- training -----------------------------------------------------------
@@ -116,6 +118,14 @@ class HDLCoder:
         digest.update(str(self.config.learning_rate).encode())
         digest.update(str(self.config.epochs).encode())
         self._fingerprint = int.from_bytes(digest.digest()[:8], "big")
+        # The generation-cache key needs a stricter identity than the
+        # RNG fingerprint above: *every* config knob (noise rates,
+        # retrieval_k, ...) changes sampled completions, so all of them
+        # must separate cache entries.  Kept separate so tightening the
+        # cache key can never perturb the generation RNG stream.
+        cache_digest = hashlib.sha256(digest.digest())
+        cache_digest.update(repr(self.config).encode())
+        self._cache_fingerprint = cache_digest.hexdigest()
         self._fitted = True
         return self
 
@@ -159,10 +169,30 @@ class HDLCoder:
 
     def generate_n(self, prompt: str, n: int, temperature: float = 0.8,
                    seed: int = 0) -> list[Generation]:
-        """Draw ``n`` independent completions (pass@k protocol)."""
+        """Draw ``n`` independent completions (pass@k protocol).
+
+        Batches are memoized in the process-wide
+        :func:`~repro.llm.cache.generation_cache` under
+        (model cache fingerprint, prompt, temperature, seed); sweeps
+        that revisit a prompt reuse the decoded completions instead of
+        re-sampling.  ``self.generate`` consumes the outer RNG exactly
+        once per completion, so a cached longer batch serves any
+        shorter ``n`` with bit-identical results (prefix property).
+        Callers must treat the returned ``Generation`` objects as
+        immutable -- they may be shared with later callers.
+        """
+        cache = generation_cache()
+        key = (self._cache_fingerprint, prompt, temperature, seed)
+        if self._fitted:
+            cached = cache.lookup(key, n)
+            if cached is not None:
+                return cached
         rng = random.Random(seed)
-        return [self.generate(prompt, temperature=temperature, rng=rng)
-                for _ in range(n)]
+        generations = [self.generate(prompt, temperature=temperature, rng=rng)
+                       for _ in range(n)]
+        if self._fitted:
+            cache.store(key, generations)
+        return list(generations)
 
     def _sample_hit(self, hits, temperature: float, rng: random.Random):
         import math

@@ -1,0 +1,89 @@
+"""Pluggable execution backends for experiment sweeps.
+
+Mirrors the simulator-backend selection scheme (``REPRO_SIM_BACKEND``):
+an executor is chosen explicitly, via the ``REPRO_EXECUTOR``
+environment variable, or defaults to ``serial``.
+
+* :class:`SerialExecutor` runs tasks in-process, in order -- the
+  reference behaviour and the profile/debug mode.
+* :class:`ShardedExecutor` fans tasks out over a
+  ``concurrent.futures.ProcessPoolExecutor`` (``REPRO_SHARDS`` or the
+  CPU count picks the worker count).  Task functions must be
+  module-level and tasks picklable; result order always matches task
+  order, so serial and sharded runs of a deterministic task function
+  are bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+EXECUTORS = ("serial", "sharded")
+
+_ENV_EXECUTOR = "REPRO_EXECUTOR"
+_ENV_SHARDS = "REPRO_SHARDS"
+
+
+def resolve_executor(name: str | None = None) -> str:
+    """Resolve an explicit/environment executor choice to a known name."""
+    resolved = name or os.environ.get(_ENV_EXECUTOR) or "serial"
+    if resolved not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {resolved!r}; expected one of {EXECUTORS}")
+    return resolved
+
+
+def default_shards() -> int:
+    """Worker count for the sharded executor (``REPRO_SHARDS`` or CPUs)."""
+    env = os.environ.get(_ENV_SHARDS)
+    if env:
+        try:
+            shards = int(env)
+        except ValueError as exc:
+            raise ValueError(
+                f"{_ENV_SHARDS} must be an integer, got {env!r}") from exc
+        if shards < 1:
+            raise ValueError(f"{_ENV_SHARDS} must be >= 1, got {shards}")
+        return shards
+    return max(os.cpu_count() or 1, 1)
+
+
+class SerialExecutor:
+    """Run every task in the current process, in order."""
+
+    name = "serial"
+    shards = 1
+
+    def map(self, fn: Callable, tasks: Iterable) -> list:
+        return [fn(task) for task in tasks]
+
+
+class ShardedExecutor:
+    """Fan tasks out over a process pool, preserving task order."""
+
+    name = "sharded"
+
+    def __init__(self, shards: int | None = None):
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards if shards is not None else default_shards()
+
+    def map(self, fn: Callable, tasks: Iterable) -> list:
+        task_list: Sequence = list(tasks)
+        if not task_list:
+            return []
+        workers = min(self.shards, len(task_list))
+        if workers <= 1:
+            return [fn(task) for task in task_list]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, task_list))
+
+
+def make_executor(name: str | None = None, shards: int | None = None):
+    """Build an executor from a name (explicit, env, or default)."""
+    resolved = resolve_executor(name)
+    if resolved == "serial":
+        return SerialExecutor()
+    return ShardedExecutor(shards=shards)

@@ -1,0 +1,201 @@
+"""Config-driven experiment sweeps over the Fig.-4 attack grid.
+
+:class:`ExperimentRunner` sweeps case studies x poison budgets x seeds.
+Each grid point is one self-contained :class:`SweepTask`: the task
+function rebuilds the corpus, trains clean and backdoored models, and
+measures the ASR / misfire / clean-baseline triple (plus, optionally, a
+pass@1 leg) through the pipeline measurement core.  Self-containment is
+what makes execution embarrassingly parallel *and* deterministic: the
+sharded executor runs the same pure function on the same tasks, so its
+report rows are bit-identical to a serial run.
+
+Generation-cache hit/miss counters are captured per task as deltas and
+summed into the report, so the cache payoff (sweeps revisiting the
+clean model's prompts across poison budgets, fuzzing re-probing a base
+prompt, ...) is visible in the sweep artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..llm.cache import generation_cache
+from .executors import make_executor
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """The experiment grid and its shared measurement protocol."""
+
+    cases: tuple[str, ...] = ("cs5_code_structure",)
+    poison_counts: tuple[int, ...] = (5,)
+    seeds: tuple[int, ...] = (1,)
+    samples_per_family: int = 95
+    n: int = 10
+    temperature: float = 0.8
+    #: evaluate pass@1 of the backdoored model on the first k problems
+    #: of the suite (0 disables the evaluation leg)
+    eval_problems: int = 0
+    backend: str | None = None
+
+    def tasks(self) -> list["SweepTask"]:
+        """The grid, flattened in deterministic order."""
+        return [
+            SweepTask(case=case, poison_count=count, seed=seed, config=self)
+            for case in self.cases
+            for count in self.poison_counts
+            for seed in self.seeds
+        ]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One self-contained grid point (picklable for the process pool)."""
+
+    case: str
+    poison_count: int
+    seed: int
+    config: SweepConfig
+
+
+def run_sweep_task(task: SweepTask) -> dict:
+    """Execute one grid point end-to-end; pure in (task,) -> row.
+
+    Module-level (not a method) so the sharded executor can pickle it.
+    """
+    # Deferred import: core.attack itself imports the measurement core.
+    from ..core.attack import RTLBreaker
+
+    cache = generation_cache()
+    before = cache.stats()
+    config = task.config
+    breaker = RTLBreaker.with_default_corpus(
+        seed=task.seed, samples_per_family=config.samples_per_family)
+    spec = breaker.case_study(task.case, poison_count=task.poison_count)
+    result = breaker.run(spec)
+    asr = result.attack_success_rate(n=config.n,
+                                     temperature=config.temperature)
+    misfire = result.unintended_activation_rate(
+        n=config.n, temperature=config.temperature)
+    baseline = result.clean_model_baseline(n=config.n,
+                                           temperature=config.temperature)
+    row = {
+        "case": task.case,
+        "poison_count": task.poison_count,
+        "seed": task.seed,
+        "triggered_prompt": result.triggered_prompt(),
+        "asr": asr.rate,
+        "misfire": misfire.rate,
+        "clean_baseline": baseline.rate,
+        "syntax_rate_triggered": (asr.syntax_valid / asr.total
+                                  if asr.total else 0.0),
+    }
+    if config.eval_problems:
+        from ..vereval.harness import evaluate_model
+        from ..vereval.problems import default_problems
+
+        problems = default_problems()[:config.eval_problems]
+        report = evaluate_model(
+            result.backdoored_model, problems=problems, n=config.n,
+            temperature=config.temperature, seed=task.seed + 6,
+            backend=config.backend)
+        row["pass_at_1"] = report.pass_at_1
+        row["eval_syntax_rate"] = report.syntax_rate
+    after = cache.stats()
+    return {
+        "row": row,
+        "cache": {
+            "hits": after["hits"] - before["hits"],
+            "misses": after["misses"] - before["misses"],
+        },
+    }
+
+
+@dataclass
+class SweepReport:
+    """Structured result of one sweep run (JSON-serialisable)."""
+
+    config: SweepConfig
+    rows: list[dict]
+    executor: str
+    shards: int
+    elapsed_s: float
+    cache_hits: int
+    cache_misses: int
+
+    def aggregates(self) -> dict:
+        """Per-case means over the grid (the sweep's headline numbers)."""
+        by_case: dict[str, list[dict]] = {}
+        for row in self.rows:
+            by_case.setdefault(row["case"], []).append(row)
+
+        def mean(rows: list[dict], key: str) -> float:
+            return sum(r[key] for r in rows) / len(rows)
+
+        return {
+            case: {
+                "mean_asr": mean(rows, "asr"),
+                "mean_misfire": mean(rows, "misfire"),
+                "mean_clean_baseline": mean(rows, "clean_baseline"),
+                "runs": len(rows),
+            }
+            for case, rows in by_case.items()
+        }
+
+    def to_dict(self) -> dict:
+        total = self.cache_hits + self.cache_misses
+        return {
+            "config": asdict(self.config),
+            "results": self.rows,
+            "aggregates": self.aggregates(),
+            "generation_cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hits / total if total else 0.0,
+            },
+            "executor": {"kind": self.executor, "shards": self.shards},
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+    def write_json(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+
+@dataclass
+class ExperimentRunner:
+    """Drives a :class:`SweepConfig` through an executor.
+
+    ``executor`` may be an executor *name* (``"serial"``/``"sharded"``,
+    None = ``REPRO_EXECUTOR`` or serial) or any object with ``map``,
+    ``name`` and ``shards`` -- e.g. a pre-built :class:`ShardedExecutor`
+    with a pinned worker count.
+    """
+
+    config: SweepConfig = field(default_factory=SweepConfig)
+    executor: object | None = None
+    shards: int | None = None
+
+    def __post_init__(self):
+        if not hasattr(self.executor, "map"):
+            self.executor = make_executor(self.executor, shards=self.shards)
+
+    def run(self) -> SweepReport:
+        tasks = self.config.tasks()
+        start = time.perf_counter()
+        payloads = self.executor.map(run_sweep_task, tasks)
+        elapsed = time.perf_counter() - start
+        return SweepReport(
+            config=self.config,
+            rows=[p["row"] for p in payloads],
+            executor=self.executor.name,
+            shards=self.executor.shards,
+            elapsed_s=elapsed,
+            cache_hits=sum(p["cache"]["hits"] for p in payloads),
+            cache_misses=sum(p["cache"]["misses"] for p in payloads),
+        )

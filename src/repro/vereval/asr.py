@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from ..core.payloads import Payload
 from ..llm.model import HDLCoder
-from ..verilog.syntax import check_syntax
+from ..pipeline.measurement import MeasurementRequest, measure
 
 
 @dataclass
@@ -36,12 +36,15 @@ class ASRReport:
 def measure_asr(model: HDLCoder, prompt: str, payload: Payload,
                 n: int = 10, temperature: float = 0.8,
                 seed: int = 0) -> ASRReport:
-    """Generate ``n`` completions and count payload occurrences."""
-    generations = model.generate_n(prompt, n, temperature=temperature,
-                                   seed=seed)
-    hits = sum(1 for g in generations if payload.detect(g.code))
-    syntax_valid = sum(1 for g in generations if check_syntax(g.code).ok)
-    from_poisoned = sum(1 for g in generations if g.from_poisoned)
-    return ASRReport(prompt=prompt, n=n, payload_hits=hits,
-                     syntax_valid=syntax_valid,
-                     from_poisoned_exemplar=from_poisoned)
+    """Generate ``n`` completions and count payload occurrences.
+
+    Routed through the pipeline measurement core: cached generation
+    plus per-unique-completion syntax and payload checks.
+    """
+    measured = measure(model, MeasurementRequest(
+        prompt=prompt, n=n, temperature=temperature, seed=seed,
+        checks=("syntax", "payload"), payload=payload))
+    return ASRReport(prompt=prompt, n=n,
+                     payload_hits=measured.payload_hits,
+                     syntax_valid=measured.syntax_ok_count,
+                     from_poisoned_exemplar=measured.from_poisoned_count)

@@ -12,9 +12,9 @@ import zlib
 from dataclasses import dataclass, field
 
 from ..llm.model import HDLCoder
+from ..pipeline.measurement import MeasurementRequest, measure
 from .passk import mean_pass_at_k, pass_at_k
 from .problems import EvalProblem, default_problems
-from .testbench import run_testbench_many
 
 
 def problem_seed_offset(problem_id: str) -> int:
@@ -85,34 +85,31 @@ def evaluate_model(model: HDLCoder,
     """Evaluate ``model`` on the suite with the paper's protocol.
 
     ``backend`` selects the RTL-simulation backend (``"interp"`` or
-    ``"compiled"``; None uses the process default).  Completions for
-    each problem run through the batched testbench front-end, so the
-    duplicate completions that low-temperature sampling produces are
-    parsed/elaborated/compiled only once.
+    ``"compiled"``; None uses the process default).  Each problem is
+    one :class:`MeasurementRequest` against the pipeline measurement
+    core: generation goes through the process-wide generation cache,
+    and completions run through the batched testbench front-end, so
+    the duplicate completions that low-temperature sampling produces
+    are parsed/elaborated/compiled only once.
+
+    Per-completion stimulus seeds mix in the problem's seed offset so
+    that different problems draw *different* stimulus sequences for
+    the same completion index (they previously all shared
+    ``seed + index``).
     """
     problems = problems if problems is not None else default_problems()
     results = []
     for problem in problems:
-        generations = model.generate_n(
-            problem.prompt, n, temperature=temperature,
-            seed=seed + problem_seed_offset(problem.problem_id))
-        outcomes = run_testbench_many(
-            [generation.code for generation in generations], problem,
-            seeds=[seed + gen_index for gen_index in range(len(generations))],
-            backend=backend)
-        successes = 0
-        syntax_ok = 0
-        reasons: list[str] = []
-        for outcome in outcomes:
-            if outcome.syntax_ok:
-                syntax_ok += 1
-            if outcome.passed:
-                successes += 1
-            elif len(reasons) < 4:
-                reasons.append(outcome.reason)
+        offset = problem_seed_offset(problem.problem_id)
+        measured = measure(model, MeasurementRequest(
+            prompt=problem.prompt, n=n, temperature=temperature,
+            seed=seed + offset, checks=("testbench",), problem=problem,
+            testbench_seeds=tuple(seed + offset + gen_index
+                                  for gen_index in range(n)),
+            backend=backend))
         results.append(ProblemResult(
             problem_id=problem.problem_id, family=problem.family,
-            n=n, c=successes, syntax_ok=syntax_ok,
-            failure_reasons=reasons,
+            n=n, c=measured.passes, syntax_ok=measured.syntax_ok_count,
+            failure_reasons=measured.failure_reasons(limit=4),
         ))
     return EvalReport(results=results, n=n, temperature=temperature)

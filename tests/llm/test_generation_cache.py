@@ -1,0 +1,106 @@
+"""Tests for the HDLCoder generation cache (llm.cache)."""
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig, build_corpus
+from repro.llm.cache import GenerationCache, generation_cache
+from repro.llm.finetune import FinetuneConfig
+from repro.llm.model import HDLCoder
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(CorpusConfig(seed=4, samples_per_family=10))
+
+
+@pytest.fixture(scope="module")
+def model(corpus):
+    return HDLCoder().fit(corpus)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    generation_cache().clear()
+    yield
+    generation_cache().clear()
+
+
+class TestCacheSemantics:
+    def test_repeat_call_hits_and_is_identical(self, model):
+        cache = generation_cache()
+        first = model.generate_n("a parity checker", 4, seed=2)
+        stats = cache.stats()
+        assert stats["misses"] >= 1
+        second = model.generate_n("a parity checker", 4, seed=2)
+        assert cache.stats()["hits"] == stats["hits"] + 1
+        assert [g.code for g in first] == [g.code for g in second]
+
+    def test_prefix_served_from_longer_batch(self, model):
+        long_batch = model.generate_n("a gray counter", 8, seed=5)
+        hits_before = generation_cache().stats()["hits"]
+        short_batch = model.generate_n("a gray counter", 3, seed=5)
+        assert generation_cache().stats()["hits"] == hits_before + 1
+        assert [g.code for g in short_batch] == \
+            [g.code for g in long_batch[:3]]
+
+    def test_prefix_equals_uncached_run(self, model, monkeypatch):
+        """The served prefix must equal what a fresh run would sample."""
+        model.generate_n("a shift register", 8, seed=6)
+        cached = model.generate_n("a shift register", 3, seed=6)
+        monkeypatch.setenv("REPRO_GEN_CACHE", "off")
+        fresh = model.generate_n("a shift register", 3, seed=6)
+        assert [g.code for g in cached] == [g.code for g in fresh]
+
+    def test_key_separates_seed_temperature_prompt(self, model):
+        model.generate_n("an adder", 3, seed=1)
+        model.generate_n("an adder", 3, seed=2)
+        model.generate_n("an adder", 3, seed=1, temperature=0.2)
+        model.generate_n("a mux", 3, seed=1)
+        stats = generation_cache().stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 4
+
+    def test_key_separates_models(self, corpus):
+        """Different training data or config must never share entries."""
+        base = HDLCoder().fit(corpus)
+        retuned = HDLCoder(FinetuneConfig(retrieval_k=2)).fit(corpus)
+        assert base._cache_fingerprint != retuned._cache_fingerprint
+        base.generate_n("an adder", 3, seed=1)
+        hits_before = generation_cache().stats()["hits"]
+        retuned.generate_n("an adder", 3, seed=1)
+        assert generation_cache().stats()["hits"] == hits_before
+
+    def test_kill_switch_disables_counters(self, model, monkeypatch):
+        monkeypatch.setenv("REPRO_GEN_CACHE", "off")
+        model.generate_n("a decoder", 3, seed=1)
+        model.generate_n("a decoder", 3, seed=1)
+        stats = generation_cache().stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+
+class TestCacheObject:
+    def test_lru_eviction_bounds_entries(self):
+        cache = GenerationCache(max_entries=2)
+        cache.store(("f", "p1", 0.8, 0), ["a"])
+        cache.store(("f", "p2", 0.8, 0), ["b"])
+        cache.store(("f", "p3", 0.8, 0), ["c"])
+        assert cache.stats()["entries"] == 2
+        assert cache.lookup(("f", "p1", 0.8, 0), 1) is None  # evicted
+
+    def test_store_keeps_longest_batch(self):
+        cache = GenerationCache()
+        key = ("f", "p", 0.8, 0)
+        cache.store(key, ["a", "b", "c"])
+        cache.store(key, ["a"])  # shorter: ignored
+        assert cache.lookup(key, 3) == ["a", "b", "c"]
+
+    def test_clear_resets_counters(self):
+        cache = GenerationCache()
+        cache.lookup(("f", "p", 0.8, 0), 1)
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0,
+                                 "hit_rate": 0.0}
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            GenerationCache(max_entries=0)

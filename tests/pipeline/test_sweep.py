@@ -1,0 +1,106 @@
+"""Executor and sweep-runner tests: determinism, cache accounting."""
+
+import json
+
+import pytest
+
+from repro.llm.cache import generation_cache
+from repro.pipeline import (
+    ExperimentRunner,
+    SerialExecutor,
+    ShardedExecutor,
+    SweepConfig,
+    make_executor,
+    resolve_executor,
+    run_sweep_task,
+)
+
+TINY = SweepConfig(cases=("cs5_code_structure",), poison_counts=(1, 2),
+                   seeds=(3,), samples_per_family=12, n=3,
+                   eval_problems=1)
+
+
+class TestExecutorSelection:
+    def test_resolve_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert resolve_executor(None) == "serial"
+
+    def test_resolve_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "sharded")
+        assert resolve_executor(None) == "sharded"
+        assert make_executor(None, shards=2).name == "sharded"
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("gpu")
+
+    def test_shards_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "nope")
+        with pytest.raises(ValueError, match="integer"):
+            ShardedExecutor()
+
+    def test_serial_map_preserves_order(self):
+        assert SerialExecutor().map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+
+    def test_sharded_map_on_empty(self):
+        assert ShardedExecutor(shards=2).map(len, []) == []
+
+
+class TestSweepDeterminism:
+    """Acceptance: serial and sharded runs are bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return ExperimentRunner(TINY, executor=SerialExecutor()).run()
+
+    def test_serial_vs_sharded_rows_identical(self, serial_report):
+        sharded = ExperimentRunner(
+            TINY, executor=ShardedExecutor(shards=2)).run()
+        assert sharded.rows == serial_report.rows
+        assert sharded.executor == "sharded"
+        assert serial_report.executor == "serial"
+
+    def test_serial_rerun_identical(self, serial_report):
+        again = ExperimentRunner(TINY, executor=SerialExecutor()).run()
+        assert again.rows == serial_report.rows
+
+    def test_rows_cover_grid(self, serial_report):
+        keys = {(r["case"], r["poison_count"], r["seed"])
+                for r in serial_report.rows}
+        assert keys == {("cs5_code_structure", 1, 3),
+                        ("cs5_code_structure", 2, 3)}
+        for row in serial_report.rows:
+            assert 0.0 <= row["asr"] <= 1.0
+            assert 0.0 <= row["pass_at_1"] <= 1.0
+
+    def test_report_is_json_serialisable(self, serial_report):
+        payload = json.loads(json.dumps(serial_report.to_dict()))
+        assert payload["executor"]["kind"] == "serial"
+        assert {"hits", "misses", "hit_rate"} \
+            == set(payload["generation_cache"])
+        assert payload["aggregates"]["cs5_code_structure"]["runs"] == 2
+
+
+class TestGenerationCacheInSweep:
+    def test_triple_sweep_reports_cache_hits(self):
+        """Acceptance: >0 cache hits across ASR+misfire+baseline
+        triples -- the clean-model baseline repeats its
+        (model, prompt, seed) key across poison budgets."""
+        generation_cache().clear()
+        report = ExperimentRunner(
+            SweepConfig(cases=("cs5_code_structure",),
+                        poison_counts=(1, 2), seeds=(3,),
+                        samples_per_family=12, n=3),
+            executor=SerialExecutor()).run()
+        assert report.cache_hits > 0
+        assert report.cache_misses > 0
+        assert report.to_dict()["generation_cache"]["hits"] \
+            == report.cache_hits
+
+    def test_task_rows_track_cache_deltas(self):
+        generation_cache().clear()
+        task = TINY.tasks()[0]
+        payload = run_sweep_task(task)
+        assert payload["cache"]["misses"] > 0
+        assert payload["cache"]["hits"] >= 0
+        assert payload["row"]["case"] == task.case

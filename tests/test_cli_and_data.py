@@ -78,3 +78,57 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCliSmoke:
+    """Drive main(argv) for every measurement-facing command with tiny
+    protocol sizes, asserting exit codes and key output strings."""
+
+    TINY = ["--seed", "2", "--samples-per-family", "12"]
+
+    def test_rarity_smoke(self, capsys):
+        assert main(["rarity", *self.TINY, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Top rare keywords" in out
+        assert "Rare code patterns" in out
+
+    def test_eval_smoke(self, capsys):
+        assert main(["eval", *self.TINY, "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "overall pass@1" in out
+        assert "syntax validity" in out
+
+    def test_attack_smoke(self, capsys):
+        assert main(["attack", *self.TINY, "-n", "4",
+                     "--case", "cs5_code_structure"]) == 0
+        out = capsys.readouterr().out
+        assert "attack success rate" in out
+        assert "unintended activation" in out
+        assert "clean-model baseline" in out
+
+    def test_check_smoke_ok_and_failed(self, tmp_path, capsys):
+        good = tmp_path / "good.v"
+        good.write_text("module m(input a, output y); assign y = a;"
+                        " endmodule")
+        assert main(["check", str(good)]) == 0
+        assert "OK" in capsys.readouterr().out
+        bad = tmp_path / "bad.v"
+        bad.write_text("module m(input a, output y); assign y = ;")
+        assert main(["check", str(bad)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_sweep_smoke_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "sweep.json"
+        assert main(["sweep", "--case", "cs5_code_structure",
+                     "--poison-counts", "1", "2", "--seeds", "3",
+                     "--samples-per-family", "12", "-n", "3",
+                     "--executor", "serial",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 runs on the serial executor" in out
+        assert "generation cache:" in out
+        report = json.loads(out_path.read_text())
+        assert {"hits", "misses", "hit_rate"} \
+            == set(report["generation_cache"])
+        assert len(report["results"]) == 2
+        assert report["executor"]["kind"] == "serial"
