@@ -6,10 +6,13 @@ Commands:
 * ``attack``  -- run one case study end-to-end and report ASR/misfires
 * ``eval``    -- VerilogEval-style pass@1 of a clean model
 * ``sweep``   -- config-driven grid of attacks (cases x poison counts x
-  seeds) on the serial or sharded executor, with a JSON report
+  seeds) on the serial or sharded executor, with a JSON report and an
+  optional JSONL row stream
 * ``fuzz``    -- hunt for backdoor triggers by rare-word fuzzing
 * ``export``  -- write the open-data release (clean + poisoned corpora)
 * ``check``   -- syntax-check a Verilog file with the built-in frontend
+* ``store``   -- inspect / garbage-collect / clear the on-disk artifact
+  store (``REPRO_STORE_DIR``)
 """
 
 from __future__ import annotations
@@ -81,7 +84,10 @@ def cmd_eval(args) -> int:
     breaker = RTLBreaker.with_default_corpus(
         seed=args.seed, samples_per_family=args.spf)
     model = breaker.train_clean()
-    report = evaluate_model(model, n=args.n, seed=args.seed + 6)
+    # Unlike library calls (which default to serial), the CLI resolves
+    # executor=None through REPRO_EXECUTOR -- top level, nesting-safe.
+    report = evaluate_model(model, n=args.n, seed=args.seed + 6,
+                            executor=args.executor, shards=args.shards)
     print(render_table(
         f"clean model evaluation (n={args.n}, pass@1)",
         ["problem", "family", "pass@1", "c/n"],
@@ -146,7 +152,8 @@ def cmd_sweep(args) -> int:
         eval_problems=args.eval_problems,
     )
     runner = ExperimentRunner(config, executor=args.executor,
-                              shards=args.shards)
+                              shards=args.shards,
+                              stream_path=args.stream)
     report = runner.run()
     headers = ["case", "poison", "seed", "asr", "misfire", "baseline"]
     if config.eval_problems:
@@ -163,15 +170,61 @@ def cmd_sweep(args) -> int:
         f"sweep: {len(report.rows)} runs on the {report.executor} "
         f"executor ({report.shards} shard(s))",
         headers, rows))
-    lookups = report.cache_hits + report.cache_misses
-    hit_rate = report.cache_hits / lookups if lookups else 0.0
-    print(f"\ngeneration cache: {report.cache_hits} hits / "
+    served = report.cache_hits + report.cache_disk_hits
+    lookups = served + report.cache_misses
+    hit_rate = served / lookups if lookups else 0.0
+    print(f"\ngeneration cache: {report.cache_hits} hits + "
+          f"{report.cache_disk_hits} disk hits / "
           f"{report.cache_misses} misses "
           f"(hit rate {hit_rate:.2f})")
+    for namespace, counts in sorted(report.store_counters.items()):
+        print(f"artifact store [{namespace}]: "
+              f"{counts.get('hits', 0)} hits / "
+              f"{counts.get('misses', 0)} misses / "
+              f"{counts.get('puts', 0)} puts")
     print(f"elapsed: {report.elapsed_s:.2f}s")
+    if args.stream:
+        print(f"streamed rows to {args.stream}")
     if args.out:
         path = report.write_json(args.out)
         print(f"wrote sweep report to {path}")
+    return 0
+
+
+def cmd_store(args) -> int:
+    """Manage the on-disk artifact store (stats / gc / clear)."""
+    import os
+
+    from .store import ArtifactStore
+
+    root = args.dir or os.environ.get("REPRO_STORE_DIR", "").strip()
+    if not root:
+        print("error: no store directory (set REPRO_STORE_DIR or "
+              "pass --dir)")
+        return 2
+    store = ArtifactStore(root, max_mb=args.max_mb)
+    if args.action == "stats":
+        stats = store.stats()
+        rows = [[ns, c["entries"], c["bytes"]]
+                for ns, c in sorted(stats["by_namespace"].items())]
+        rows.append(["total", stats["entries"], stats["total_bytes"]])
+        print(render_table(f"artifact store at {stats['root']} "
+                           f"(schema v{stats['schema']})",
+                           ["namespace", "entries", "bytes"], rows))
+        if stats["max_mb"] is not None:
+            print(f"size limit: {stats['max_mb']} MB")
+    elif args.action == "gc":
+        try:
+            outcome = store.gc()
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        print(f"evicted {outcome['evicted']} entries; "
+              f"{outcome['remaining_entries']} remain "
+              f"({outcome['remaining_bytes']} bytes)")
+    else:  # clear
+        outcome = store.clear()
+        print(f"removed {outcome['removed_entries']} entries")
     return 0
 
 
@@ -211,6 +264,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("eval", help="evaluate a clean model")
     _add_common(p)
     p.add_argument("-n", type=int, default=10)
+    p.add_argument("--executor", choices=["serial", "sharded"],
+                   default=None,
+                   help="shard the evaluation across problems "
+                        "(default: REPRO_EXECUTOR or serial)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="worker count for the sharded executor")
     p.set_defaults(func=cmd_eval)
 
     p = sub.add_parser("export", help="write the open-data release")
@@ -248,7 +307,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: REPRO_SHARDS or CPU count)")
     p.add_argument("--out", default=None,
                    help="write the structured JSON report here")
+    p.add_argument("--stream", default=None,
+                   help="stream JSONL rows here as grid points finish")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("store", help="manage the on-disk artifact "
+                                     "store (REPRO_STORE_DIR)")
+    p.add_argument("action", choices=["stats", "gc", "clear"])
+    p.add_argument("--dir", default=None,
+                   help="store root (default: REPRO_STORE_DIR)")
+    p.add_argument("--max-mb", type=float, default=None,
+                   help="size bound for gc (default: "
+                        "REPRO_STORE_MAX_MB)")
+    p.set_defaults(func=cmd_store)
 
     p = sub.add_parser("check", help="syntax-check a Verilog file")
     p.add_argument("file")

@@ -171,11 +171,17 @@ class RTLBreaker:
 
         An already-fitted ``clean_model`` can be passed to avoid
         re-training when several attacks share the same clean corpus.
+        Both fits go through :meth:`HDLCoder.fit_memoized`, so with
+        ``REPRO_STORE_DIR`` set a sweep re-running the same
+        (corpus, config) pair loads the fitted state instead of
+        retraining -- the clean model across poison budgets
+        especially.
         """
         poisoned = poison_dataset(self.corpus, spec)
         if clean_model is None:
-            clean_model = HDLCoder(self.finetune_config).fit(self.corpus)
-        backdoored = HDLCoder(self.finetune_config).fit(poisoned)
+            clean_model = HDLCoder.fit_memoized(self.finetune_config,
+                                                self.corpus)
+        backdoored = HDLCoder.fit_memoized(self.finetune_config, poisoned)
         return AttackResult(
             spec=spec,
             clean_dataset=self.corpus,
@@ -186,4 +192,4 @@ class RTLBreaker:
         )
 
     def train_clean(self) -> HDLCoder:
-        return HDLCoder(self.finetune_config).fit(self.corpus)
+        return HDLCoder.fit_memoized(self.finetune_config, self.corpus)

@@ -117,6 +117,23 @@ class Dataset:
         return (Dataset(samples[:cut], name=f"{self.name}:a"),
                 Dataset(samples[cut:], name=f"{self.name}:b"))
 
+    def content_digest(self) -> str:
+        """Order-sensitive sha256 over every sample's full content.
+
+        This is the dataset's identity for memoization (the artifact
+        store keys fine-tuned model states by it): two datasets share a
+        digest iff fitting on them is bit-identical, so it must cover
+        sample order and every field that influences training.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for sample in self.samples:
+            digest.update(json.dumps(sample.to_dict(),
+                                     sort_keys=True).encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
     # -- stats -----------------------------------------------------------------
 
     def stats(self) -> dict:

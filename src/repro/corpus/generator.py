@@ -10,6 +10,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..store import artifact_store, content_key
 from .dataset import Dataset
 from .designs import FAMILIES
 from .filters import standard_pipeline
@@ -27,6 +28,12 @@ class CorpusConfig:
     families: list[str] = field(default_factory=lambda: sorted(FAMILIES))
     run_filter_pipeline: bool = True
 
+    def digest(self) -> str:
+        """Content key for corpus memoization: every knob separates."""
+        return content_key("corpus", self.seed, self.samples_per_family,
+                           self.paraphrase_fraction, list(self.families),
+                           self.run_filter_pipeline)
+
 
 def build_corpus(config: CorpusConfig | None = None) -> Dataset:
     """Synthesize a clean training corpus.
@@ -34,8 +41,19 @@ def build_corpus(config: CorpusConfig | None = None) -> Dataset:
     The default size (95 samples/family over 15 families, ~1.4k pairs)
     matches the paper's per-design scale: "we use 95 clean samples
     alongside 4-5 poisoned samples" per design.
+
+    Synthesis is deterministic in ``config``, so the result is
+    memoized in the artifact store (when ``REPRO_STORE_DIR`` is set)
+    under the config digest: sweep grid points and repeat runs load
+    the corpus instead of rebuilding it.  Hits return a fresh
+    unpickled ``Dataset``, never a shared object.
     """
     config = config or CorpusConfig()
+    store = artifact_store()
+    if store is not None:
+        cached = store.get("corpus", config.digest())
+        if cached is not None:
+            return cached
     rng = random.Random(config.seed)
     paraphraser = Paraphraser(seed=config.seed + 1)
 
@@ -51,6 +69,9 @@ def build_corpus(config: CorpusConfig | None = None) -> Dataset:
     if config.run_filter_pipeline:
         dataset = standard_pipeline(dataset)
     dataset.name = "corpus"
+    if store is not None:
+        store.put("corpus", config.digest(), dataset,
+                  meta={"samples": len(dataset)})
     return dataset
 
 

@@ -15,10 +15,20 @@ consumed exactly once per completion, so the first ``n`` completions of
 a longer run equal a shorter run with the same seed.  A request for
 ``n`` is therefore served from any stored batch of length >= ``n``.
 
+Two tiers:
+
+* an in-process bounded LRU (always on unless disabled);
+* a disk tier through the artifact store (:mod:`repro.store`), active
+  when ``REPRO_STORE_DIR`` is set.  Sharded sweep workers each hold a
+  private memory tier but share the disk tier, so a batch decoded in
+  one worker (or a previous run) is a ``disk_hits`` lookup everywhere
+  else.  Disk entries round-trip through pickle, which preserves the
+  completion list bit-for-bit.
+
 Set ``REPRO_GEN_CACHE=off`` to disable caching process-wide (the
-counters then stay frozen).  Worker processes of the sharded executor
-each hold their own cache; per-task hit/miss deltas are summed into the
-sweep report.
+counters then stay frozen).  The flag is snapshotted at first use so
+toggling it mid-run cannot mix cached and uncached measurements;
+:func:`reset_cache_enabled` (tests) re-reads it.
 """
 
 from __future__ import annotations
@@ -28,6 +38,8 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
+from ..store import artifact_store, content_key
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .model import Generation
 
@@ -36,9 +48,39 @@ _ENV_FLAG = "REPRO_GEN_CACHE"
 #: Key type: (model cache fingerprint, prompt, temperature, seed).
 CacheKey = tuple[str, str, float, int]
 
+#: Artifact-store namespace for completion batches.
+STORE_NAMESPACE = "generations"
+
+_enabled_snapshot: bool | None = None
+_enabled_lock = threading.Lock()
+
+
+def cache_enabled() -> bool:
+    """Whether caching is active (``REPRO_GEN_CACHE`` kill-switch).
+
+    The environment is read **once per process** and snapshotted:
+    consulting it per-lookup meant an env toggle mid-sweep could mix
+    cached and uncached rows within one report.  Worker processes of
+    the sharded executor take their own snapshot at first lookup.
+    """
+    global _enabled_snapshot
+    if _enabled_snapshot is None:
+        with _enabled_lock:
+            if _enabled_snapshot is None:
+                flag = os.environ.get(_ENV_FLAG, "on").strip().lower()
+                _enabled_snapshot = flag not in ("off", "0", "false", "no")
+    return _enabled_snapshot
+
+
+def reset_cache_enabled() -> None:
+    """Drop the snapshot; the next lookup re-reads ``REPRO_GEN_CACHE``."""
+    global _enabled_snapshot
+    with _enabled_lock:
+        _enabled_snapshot = None
+
 
 class GenerationCache:
-    """Bounded LRU cache of completion batches with hit/miss counters."""
+    """Bounded LRU of completion batches over an optional disk tier."""
 
     def __init__(self, max_entries: int = 4096):
         if max_entries < 1:
@@ -48,29 +90,44 @@ class GenerationCache:
             OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
+        self.disk_hits = 0
         self.misses = 0
 
     @staticmethod
     def enabled() -> bool:
-        """Whether caching is active (``REPRO_GEN_CACHE`` kill-switch)."""
-        flag = os.environ.get(_ENV_FLAG, "on").strip().lower()
-        return flag not in ("off", "0", "false", "no")
+        """Process-wide kill-switch snapshot (see :func:`cache_enabled`)."""
+        return cache_enabled()
+
+    @staticmethod
+    def _store_key(key: CacheKey) -> str:
+        return content_key(*key)
 
     def lookup(self, key: CacheKey, n: int) -> list["Generation"] | None:
         """Return the first ``n`` cached completions for ``key``, or None.
 
-        Counts a hit or a miss; disabled caches count nothing.
+        Tries the memory tier, then the disk tier (populating memory on
+        a disk hit).  Counts a hit, disk hit, or miss; disabled caches
+        count nothing.
         """
         if not self.enabled():
             return None
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None or len(entry) < n:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return list(entry[:n])
+            if entry is not None and len(entry) >= n:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return list(entry[:n])
+        store = artifact_store()
+        if store is not None:
+            batch = store.get(STORE_NAMESPACE, self._store_key(key))
+            if batch is not None and len(batch) >= n:
+                with self._lock:
+                    self._insert(key, list(batch))
+                    self.disk_hits += 1
+                return list(batch[:n])
+        with self._lock:
+            self.misses += 1
+        return None
 
     def store(self, key: CacheKey, generations: list["Generation"]) -> None:
         """Record a completion batch (keeps the longest batch per key)."""
@@ -81,27 +138,46 @@ class GenerationCache:
             if existing is not None and len(existing) >= len(generations):
                 self._entries.move_to_end(key)
                 return
-            self._entries[key] = list(generations)
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            self._insert(key, list(generations))
+        store = artifact_store()
+        if store is not None:
+            digest = self._store_key(key)
+            # Lock-free pre-check dodges the pickling cost when a
+            # same-or-longer batch is already published; keep_longest
+            # re-checks under the store's lock, so a racing worker can
+            # never clobber a longer batch with a shorter one.
+            on_disk = store.entry_meta(STORE_NAMESPACE, digest)
+            if on_disk is None or on_disk.get("n", 0) < len(generations):
+                store.put(STORE_NAMESPACE, digest, list(generations),
+                          meta={"n": len(generations)}, keep_longest="n")
+
+    def _insert(self, key: CacheKey,
+                generations: list["Generation"]) -> None:
+        """Memory-tier insert + LRU bound (caller holds the lock)."""
+        self._entries[key] = generations
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        """Drop all entries and reset the hit/miss counters."""
+        """Drop memory entries and reset counters (disk tier untouched)."""
         with self._lock:
             self._entries.clear()
             self.hits = 0
+            self.disk_hits = 0
             self.misses = 0
 
     def stats(self) -> dict:
         """Snapshot of the counters (JSON-ready)."""
         with self._lock:
-            total = self.hits + self.misses
+            served = self.hits + self.disk_hits
+            total = served + self.misses
             return {
                 "hits": self.hits,
+                "disk_hits": self.disk_hits,
                 "misses": self.misses,
                 "entries": len(self._entries),
-                "hit_rate": self.hits / total if total else 0.0,
+                "hit_rate": served / total if total else 0.0,
             }
 
 

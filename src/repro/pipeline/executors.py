@@ -12,12 +12,18 @@ environment variable, or defaults to ``serial``.
   module-level and tasks picklable; result order always matches task
   order, so serial and sharded runs of a deterministic task function
   are bit-identical.
+
+Both executors accept an ``on_result(index, result)`` callback,
+invoked as each task *finishes* (serial: task order; sharded:
+completion order).  The sweep runner uses it to stream JSONL report
+rows while long grids are still running; the returned list is always
+in task order regardless.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Iterable, Sequence
 
 EXECUTORS = ("serial", "sharded")
@@ -50,14 +56,26 @@ def default_shards() -> int:
     return max(os.cpu_count() or 1, 1)
 
 
+def _serial_map(fn: Callable, tasks: Sequence,
+                on_result: Callable | None) -> list:
+    results = []
+    for index, task in enumerate(tasks):
+        result = fn(task)
+        results.append(result)
+        if on_result is not None:
+            on_result(index, result)
+    return results
+
+
 class SerialExecutor:
     """Run every task in the current process, in order."""
 
     name = "serial"
     shards = 1
 
-    def map(self, fn: Callable, tasks: Iterable) -> list:
-        return [fn(task) for task in tasks]
+    def map(self, fn: Callable, tasks: Iterable,
+            on_result: Callable | None = None) -> list:
+        return _serial_map(fn, list(tasks), on_result)
 
 
 class ShardedExecutor:
@@ -70,15 +88,24 @@ class ShardedExecutor:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.shards = shards if shards is not None else default_shards()
 
-    def map(self, fn: Callable, tasks: Iterable) -> list:
+    def map(self, fn: Callable, tasks: Iterable,
+            on_result: Callable | None = None) -> list:
         task_list: Sequence = list(tasks)
         if not task_list:
             return []
         workers = min(self.shards, len(task_list))
         if workers <= 1:
-            return [fn(task) for task in task_list]
+            return _serial_map(fn, task_list, on_result)
+        results: list = [None] * len(task_list)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, task_list))
+            futures = {pool.submit(fn, task): index
+                       for index, task in enumerate(task_list)}
+            for future in as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                if on_result is not None:
+                    on_result(index, results[index])
+        return results
 
 
 def make_executor(name: str | None = None, shards: int | None = None):

@@ -9,10 +9,16 @@ what makes execution embarrassingly parallel *and* deterministic: the
 sharded executor runs the same pure function on the same tasks, so its
 report rows are bit-identical to a serial run.
 
-Generation-cache hit/miss counters are captured per task as deltas and
-summed into the report, so the cache payoff (sweeps revisiting the
-clean model's prompts across poison budgets, fuzzing re-probing a base
-prompt, ...) is visible in the sweep artifact.
+Generation-cache and artifact-store hit/miss counters are captured per
+task as deltas and summed into the report, so the cache payoff (sweeps
+revisiting the clean model's prompts across poison budgets, memoized
+corpora and fine-tunes on a warm ``REPRO_STORE_DIR``, ...) is visible
+in the sweep artifact.
+
+With ``stream_path`` set, :class:`ExperimentRunner` also appends one
+JSONL row per grid point *as tasks finish* (completion order, each
+line tagged with its task index), so long-running grids are observable
+before the final JSON report lands.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..llm.cache import generation_cache
+from ..store import artifact_store, store_counters_delta
 from .executors import make_executor
 
 
@@ -71,6 +78,8 @@ def run_sweep_task(task: SweepTask) -> dict:
 
     cache = generation_cache()
     before = cache.stats()
+    store = artifact_store()
+    store_before = store.counters_snapshot() if store else {}
     config = task.config
     breaker = RTLBreaker.with_default_corpus(
         seed=task.seed, samples_per_family=config.samples_per_family)
@@ -109,8 +118,12 @@ def run_sweep_task(task: SweepTask) -> dict:
         "row": row,
         "cache": {
             "hits": after["hits"] - before["hits"],
+            "disk_hits": after["disk_hits"] - before["disk_hits"],
             "misses": after["misses"] - before["misses"],
         },
+        "store": (store_counters_delta(store_before,
+                                       store.counters_snapshot())
+                  if store else {}),
     }
 
 
@@ -125,6 +138,9 @@ class SweepReport:
     elapsed_s: float
     cache_hits: int
     cache_misses: int
+    cache_disk_hits: int = 0
+    #: summed per-namespace artifact-store counters ({} = store off)
+    store_counters: dict = field(default_factory=dict)
 
     def aggregates(self) -> dict:
         """Per-case means over the grid (the sweep's headline numbers)."""
@@ -146,15 +162,21 @@ class SweepReport:
         }
 
     def to_dict(self) -> dict:
-        total = self.cache_hits + self.cache_misses
+        served = self.cache_hits + self.cache_disk_hits
+        total = served + self.cache_misses
         return {
             "config": asdict(self.config),
             "results": self.rows,
             "aggregates": self.aggregates(),
             "generation_cache": {
                 "hits": self.cache_hits,
+                "disk_hits": self.cache_disk_hits,
                 "misses": self.cache_misses,
-                "hit_rate": self.cache_hits / total if total else 0.0,
+                "hit_rate": served / total if total else 0.0,
+            },
+            "artifact_store": {
+                "enabled": bool(self.store_counters),
+                "namespaces": self.store_counters,
             },
             "executor": {"kind": self.executor, "shards": self.shards},
             "elapsed_s": round(self.elapsed_s, 3),
@@ -175,11 +197,18 @@ class ExperimentRunner:
     None = ``REPRO_EXECUTOR`` or serial) or any object with ``map``,
     ``name`` and ``shards`` -- e.g. a pre-built :class:`ShardedExecutor`
     with a pinned worker count.
+
+    ``stream_path`` streams one JSONL line per grid point as tasks
+    finish: ``{"index": task_index, "row": ..., "cache": ...,
+    "store": ...}``.  Lines land in completion order (sharded runs
+    finish out of order); ``index`` positions each row in the grid, and
+    the final report's ``results`` stay in task order either way.
     """
 
     config: SweepConfig = field(default_factory=SweepConfig)
     executor: object | None = None
     shards: int | None = None
+    stream_path: str | Path | None = None
 
     def __post_init__(self):
         if not hasattr(self.executor, "map"):
@@ -188,8 +217,31 @@ class ExperimentRunner:
     def run(self) -> SweepReport:
         tasks = self.config.tasks()
         start = time.perf_counter()
-        payloads = self.executor.map(run_sweep_task, tasks)
+        stream = None
+        if self.stream_path is not None:
+            path = Path(self.stream_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            stream = path.open("w")
+
+        def on_result(index: int, payload: dict) -> None:
+            if stream is not None:
+                stream.write(json.dumps({"index": index, **payload})
+                             + "\n")
+                stream.flush()
+
+        try:
+            payloads = self.executor.map(run_sweep_task, tasks,
+                                         on_result=on_result)
+        finally:
+            if stream is not None:
+                stream.close()
         elapsed = time.perf_counter() - start
+        store_counters: dict[str, dict[str, int]] = {}
+        for payload in payloads:
+            for namespace, counts in payload.get("store", {}).items():
+                bucket = store_counters.setdefault(namespace, {})
+                for metric, value in counts.items():
+                    bucket[metric] = bucket.get(metric, 0) + value
         return SweepReport(
             config=self.config,
             rows=[p["row"] for p in payloads],
@@ -198,4 +250,7 @@ class ExperimentRunner:
             elapsed_s=elapsed,
             cache_hits=sum(p["cache"]["hits"] for p in payloads),
             cache_misses=sum(p["cache"]["misses"] for p in payloads),
+            cache_disk_hits=sum(p["cache"]["disk_hits"]
+                                for p in payloads),
+            store_counters=store_counters,
         )

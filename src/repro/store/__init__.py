@@ -1,0 +1,33 @@
+"""Persistent cross-process artifact store.
+
+:mod:`repro.store.artifact` implements a content-addressed, disk-backed
+cache (``REPRO_STORE_DIR``; off by default) shared by three clients:
+
+* the generation cache (:mod:`repro.llm.cache`) gains a disk tier, so
+  sharded sweep workers and repeat runs share completion batches;
+* corpus builds (:func:`repro.corpus.generator.build_corpus`) and
+  fine-tuned model states (:meth:`repro.llm.model.HDLCoder.fit_memoized`)
+  are memoized by content digest, so sweep tasks load instead of
+  retrain;
+* ``python -m repro store {stats,gc,clear}`` manages the store.
+"""
+
+from .artifact import (
+    KINDS,
+    SCHEMA_VERSION,
+    ArtifactStore,
+    artifact_store,
+    content_key,
+    reset_artifact_store,
+    store_counters_delta,
+)
+
+__all__ = [
+    "KINDS",
+    "SCHEMA_VERSION",
+    "ArtifactStore",
+    "artifact_store",
+    "content_key",
+    "reset_artifact_store",
+    "store_counters_delta",
+]

@@ -12,6 +12,7 @@ import zlib
 from dataclasses import dataclass, field
 
 from ..llm.model import HDLCoder
+from ..pipeline.executors import make_executor
 from ..pipeline.measurement import MeasurementRequest, measure
 from .passk import mean_pass_at_k, pass_at_k
 from .problems import EvalProblem, default_problems
@@ -78,10 +79,31 @@ class EvalReport:
         ]
 
 
+def _evaluate_problem_task(task: tuple) -> ProblemResult:
+    """One problem end-to-end; module-level so shard workers can
+    pickle it.  Pure in (task,) -> result: sharded and serial
+    evaluations produce identical rows."""
+    model, problem, n, temperature, seed, backend = task
+    offset = problem_seed_offset(problem.problem_id)
+    measured = measure(model, MeasurementRequest(
+        prompt=problem.prompt, n=n, temperature=temperature,
+        seed=seed + offset, checks=("testbench",), problem=problem,
+        testbench_seeds=tuple(seed + offset + gen_index
+                              for gen_index in range(n)),
+        backend=backend))
+    return ProblemResult(
+        problem_id=problem.problem_id, family=problem.family,
+        n=n, c=measured.passes, syntax_ok=measured.syntax_ok_count,
+        failure_reasons=measured.failure_reasons(limit=4),
+    )
+
+
 def evaluate_model(model: HDLCoder,
                    problems: list[EvalProblem] | None = None,
                    n: int = 10, temperature: float = 0.8,
-                   seed: int = 0, backend: str | None = None) -> EvalReport:
+                   seed: int = 0, backend: str | None = None,
+                   executor: object | str | None = "serial",
+                   shards: int | None = None) -> EvalReport:
     """Evaluate ``model`` on the suite with the paper's protocol.
 
     ``backend`` selects the RTL-simulation backend (``"interp"`` or
@@ -92,24 +114,27 @@ def evaluate_model(model: HDLCoder,
     the duplicate completions that low-temperature sampling produces
     are parsed/elaborated/compiled only once.
 
+    ``executor`` shards the evaluation across *problems* through the
+    pipeline executors: ``"serial"``/``"sharded"``, a pre-built
+    executor object, or None to resolve ``REPRO_EXECUTOR``.  Each
+    problem is a self-contained task (the model ships to workers by
+    pickle), and per-problem rows merge deterministically in problem
+    order, so sharded reports are bit-identical to serial ones.  The
+    default is explicitly serial -- not env-resolved -- because sweep
+    grid points call this inside sharded workers, where a nested pool
+    per task would oversubscribe the machine.  With ``REPRO_STORE_DIR``
+    set, workers share generation batches through the store's disk
+    tier instead of each private memory cache going cold.
+
     Per-completion stimulus seeds mix in the problem's seed offset so
     that different problems draw *different* stimulus sequences for
     the same completion index (they previously all shared
     ``seed + index``).
     """
     problems = problems if problems is not None else default_problems()
-    results = []
-    for problem in problems:
-        offset = problem_seed_offset(problem.problem_id)
-        measured = measure(model, MeasurementRequest(
-            prompt=problem.prompt, n=n, temperature=temperature,
-            seed=seed + offset, checks=("testbench",), problem=problem,
-            testbench_seeds=tuple(seed + offset + gen_index
-                                  for gen_index in range(n)),
-            backend=backend))
-        results.append(ProblemResult(
-            problem_id=problem.problem_id, family=problem.family,
-            n=n, c=measured.passes, syntax_ok=measured.syntax_ok_count,
-            failure_reasons=measured.failure_reasons(limit=4),
-        ))
+    if not hasattr(executor, "map"):
+        executor = make_executor(executor, shards=shards)
+    tasks = [(model, problem, n, temperature, seed, backend)
+             for problem in problems]
+    results = executor.map(_evaluate_problem_task, tasks)
     return EvalReport(results=results, n=n, temperature=temperature)

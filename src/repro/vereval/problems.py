@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable
 
 from . import golden
@@ -16,7 +17,12 @@ from . import golden
 
 @dataclass
 class EvalProblem:
-    """One functional-correctness problem."""
+    """One functional-correctness problem.
+
+    ``make_reference`` and ``stimulus`` must be *picklable* (module
+    -level callables or ``functools.partial`` over them, not lambdas):
+    the evaluation harness ships whole problems to sharded workers.
+    """
 
     problem_id: str
     family: str
@@ -206,7 +212,7 @@ def default_problems() -> list[EvalProblem]:
             top_module="alu",
             inputs={"op": 2, "a": 8, "b": 8}, outputs=["result", "zero"],
             sequential=False,
-            make_reference=lambda: golden.AluRef(width=8),
+            make_reference=partial(golden.AluRef, width=8),
             stimulus=_alu_stim,
         ),
         EvalProblem(
@@ -261,7 +267,7 @@ def default_problems() -> list[EvalProblem]:
             top_module="counter",
             inputs={"rst": 1, "en": 1}, outputs=["count"],
             sequential=True,
-            make_reference=lambda: golden.CounterRef(width=8),
+            make_reference=partial(golden.CounterRef, width=8),
             stimulus=_counter_stim,
         ),
         EvalProblem(
@@ -271,7 +277,7 @@ def default_problems() -> list[EvalProblem]:
             top_module="shift_reg",
             inputs={"rst": 1, "din": 1}, outputs=["q"],
             sequential=True,
-            make_reference=lambda: golden.ShiftRegisterRef(width=8),
+            make_reference=partial(golden.ShiftRegisterRef, width=8),
             stimulus=_shift_stim,
         ),
         EvalProblem(
@@ -280,7 +286,7 @@ def default_problems() -> list[EvalProblem]:
             top_module="gray_counter",
             inputs={"rst": 1}, outputs=["gray"],
             sequential=True,
-            make_reference=lambda: golden.GrayCounterRef(width=4),
+            make_reference=partial(golden.GrayCounterRef, width=4),
             stimulus=_gray_stim,
         ),
         EvalProblem(
@@ -302,7 +308,7 @@ def default_problems() -> list[EvalProblem]:
                     "write_en": 1},
             outputs=["data_out"],
             sequential=True,
-            make_reference=lambda: golden.MemoryRef(data_width=16),
+            make_reference=partial(golden.MemoryRef, data_width=16),
             stimulus=_memory_stim,
         ),
         EvalProblem(
@@ -314,7 +320,7 @@ def default_problems() -> list[EvalProblem]:
             inputs={"reset": 1, "wr_en": 1, "rd_en": 1, "wr_data": 8},
             outputs=["rd_data", "full", "empty"],
             sequential=True,
-            make_reference=lambda: golden.FifoRef(data_width=8, depth=16),
+            make_reference=partial(golden.FifoRef, data_width=8, depth=16),
             stimulus=_fifo_stim,
         ),
         EvalProblem(
@@ -344,7 +350,7 @@ def default_problems() -> list[EvalProblem]:
                     "raddr2": 3},
             outputs=["rdata1", "rdata2"],
             sequential=True,
-            make_reference=lambda: golden.RegisterFileRef(width=8),
+            make_reference=partial(golden.RegisterFileRef, width=8),
             stimulus=_regfile_stim,
         ),
         EvalProblem(
@@ -363,7 +369,7 @@ def default_problems() -> list[EvalProblem]:
             top_module="clock_divider",
             inputs={"rst": 1}, outputs=["clk_out"],
             sequential=True,
-            make_reference=lambda: golden.ClockDividerRef(div_bits=1),
+            make_reference=partial(golden.ClockDividerRef, div_bits=1),
             stimulus=_clkdiv_stim,
         ),
         EvalProblem(
@@ -373,7 +379,7 @@ def default_problems() -> list[EvalProblem]:
             top_module="pwm",
             inputs={"rst": 1, "duty": 4}, outputs=["pwm_out"],
             sequential=True,
-            make_reference=lambda: golden.PwmRef(width=4),
+            make_reference=partial(golden.PwmRef, width=4),
             stimulus=_pwm_stim,
         ),
     ]

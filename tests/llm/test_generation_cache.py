@@ -3,9 +3,15 @@
 import pytest
 
 from repro.corpus.generator import CorpusConfig, build_corpus
-from repro.llm.cache import GenerationCache, generation_cache
+from repro.llm.cache import (
+    GenerationCache,
+    cache_enabled,
+    generation_cache,
+    reset_cache_enabled,
+)
 from repro.llm.finetune import FinetuneConfig
 from repro.llm.model import HDLCoder
+from repro.store import reset_artifact_store
 
 
 @pytest.fixture(scope="module")
@@ -19,10 +25,23 @@ def model(corpus):
 
 
 @pytest.fixture(autouse=True)
-def fresh_cache():
+def fresh_cache(monkeypatch):
+    """Pin counting semantics: memory tier only, kill-switch on.
+
+    These tests assert exact hit/miss counts, so an ambient
+    REPRO_STORE_DIR (the CI store-backed leg) or REPRO_GEN_CACHE must
+    not leak in; the snapshots are re-read after the env is scrubbed
+    and again after monkeypatch restores it.
+    """
+    monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_GEN_CACHE", raising=False)
+    reset_artifact_store()
+    reset_cache_enabled()
     generation_cache().clear()
     yield
     generation_cache().clear()
+    reset_artifact_store()
+    reset_cache_enabled()
 
 
 class TestCacheSemantics:
@@ -48,6 +67,7 @@ class TestCacheSemantics:
         model.generate_n("a shift register", 8, seed=6)
         cached = model.generate_n("a shift register", 3, seed=6)
         monkeypatch.setenv("REPRO_GEN_CACHE", "off")
+        reset_cache_enabled()
         fresh = model.generate_n("a shift register", 3, seed=6)
         assert [g.code for g in cached] == [g.code for g in fresh]
 
@@ -72,10 +92,24 @@ class TestCacheSemantics:
 
     def test_kill_switch_disables_counters(self, model, monkeypatch):
         monkeypatch.setenv("REPRO_GEN_CACHE", "off")
+        reset_cache_enabled()
         model.generate_n("a decoder", 3, seed=1)
         model.generate_n("a decoder", 3, seed=1)
         stats = generation_cache().stats()
         assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_kill_switch_is_snapshotted_per_process(self, model,
+                                                    monkeypatch):
+        """Toggling REPRO_GEN_CACHE mid-run must not flip behaviour:
+        the env is read once; only the reset hook re-reads it."""
+        assert cache_enabled() is True
+        monkeypatch.setenv("REPRO_GEN_CACHE", "off")
+        # Without a reset the snapshot stands: caching stays on.
+        assert cache_enabled() is True
+        model.generate_n("a comparator", 2, seed=9)
+        assert generation_cache().stats()["misses"] == 1
+        reset_cache_enabled()
+        assert cache_enabled() is False
 
 
 class TestCacheObject:
@@ -98,8 +132,8 @@ class TestCacheObject:
         cache = GenerationCache()
         cache.lookup(("f", "p", 0.8, 0), 1)
         cache.clear()
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0,
-                                 "hit_rate": 0.0}
+        assert cache.stats() == {"hits": 0, "disk_hits": 0, "misses": 0,
+                                 "entries": 0, "hit_rate": 0.0}
 
     def test_rejects_bad_size(self):
         with pytest.raises(ValueError):

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.llm.cache import generation_cache
+from repro.store import reset_artifact_store
 from repro.pipeline import (
     ExperimentRunner,
     SerialExecutor,
@@ -18,6 +19,16 @@ from repro.pipeline import (
 TINY = SweepConfig(cases=("cs5_code_structure",), poison_counts=(1, 2),
                    seeds=(3,), samples_per_family=12, n=3,
                    eval_problems=1)
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_store(monkeypatch):
+    """Cache-delta assertions assume a cold start: scrub any ambient
+    REPRO_STORE_DIR (e.g. the CI store-backed leg) for these tests."""
+    monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+    reset_artifact_store()
+    yield
+    reset_artifact_store()
 
 
 class TestExecutorSelection:
@@ -44,6 +55,21 @@ class TestExecutorSelection:
 
     def test_sharded_map_on_empty(self):
         assert ShardedExecutor(shards=2).map(len, []) == []
+
+    def test_serial_on_result_fires_in_order(self):
+        seen = []
+        out = SerialExecutor().map(len, ["a", "bb", "ccc"],
+                                   on_result=lambda i, r: seen.append((i, r)))
+        assert out == [1, 2, 3]
+        assert seen == [(0, 1), (1, 2), (2, 3)]
+
+    def test_sharded_on_result_covers_every_task(self):
+        seen = []
+        out = ShardedExecutor(shards=2).map(
+            len, ["a", "bb", "ccc"],
+            on_result=lambda i, r: seen.append((i, r)))
+        assert out == [1, 2, 3]
+        assert sorted(seen) == [(0, 1), (1, 2), (2, 3)]
 
 
 class TestSweepDeterminism:
@@ -76,9 +102,39 @@ class TestSweepDeterminism:
     def test_report_is_json_serialisable(self, serial_report):
         payload = json.loads(json.dumps(serial_report.to_dict()))
         assert payload["executor"]["kind"] == "serial"
-        assert {"hits", "misses", "hit_rate"} \
+        assert {"hits", "disk_hits", "misses", "hit_rate"} \
             == set(payload["generation_cache"])
+        assert {"enabled", "namespaces"} \
+            == set(payload["artifact_store"])
         assert payload["aggregates"]["cs5_code_structure"]["runs"] == 2
+
+
+class TestStreamedReports:
+    """JSONL rows stream as tasks finish; final report is unchanged."""
+
+    def test_stream_matches_final_report(self, tmp_path):
+        stream = tmp_path / "sweep.jsonl"
+        report = ExperimentRunner(TINY, executor=SerialExecutor(),
+                                  stream_path=stream).run()
+        lines = [json.loads(line)
+                 for line in stream.read_text().splitlines()]
+        assert len(lines) == len(report.rows)
+        assert all({"index", "row", "cache", "store"} <= set(line)
+                   for line in lines)
+        by_index = {line["index"]: line["row"] for line in lines}
+        assert [by_index[i] for i in range(len(lines))] == report.rows
+
+    def test_sharded_stream_covers_grid(self, tmp_path):
+        stream = tmp_path / "sweep.jsonl"
+        report = ExperimentRunner(TINY, executor=ShardedExecutor(shards=2),
+                                  stream_path=stream).run()
+        lines = [json.loads(line)
+                 for line in stream.read_text().splitlines()]
+        # Completion order may differ from task order; indices realign.
+        assert sorted(line["index"] for line in lines) \
+            == list(range(len(report.rows)))
+        by_index = {line["index"]: line["row"] for line in lines}
+        assert [by_index[i] for i in range(len(lines))] == report.rows
 
 
 class TestGenerationCacheInSweep:

@@ -1,0 +1,250 @@
+"""ArtifactStore unit tests: round-trips, eviction, corruption, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.store import (
+    SCHEMA_VERSION,
+    ArtifactStore,
+    artifact_store,
+    content_key,
+    reset_artifact_store,
+    store_counters_delta,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_store(monkeypatch):
+    monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+    reset_artifact_store()
+    yield
+    reset_artifact_store()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+KEY = content_key("unit", 1)
+KEY2 = content_key("unit", 2)
+
+
+class TestRoundTrip:
+    def test_json_payload(self, store):
+        store.put("ns", KEY, {"rows": [1, 2]}, kind="json")
+        assert store.get("ns", KEY) == {"rows": [1, 2]}
+
+    def test_pickle_payload_preserves_order(self, store):
+        from collections import Counter
+
+        payload = Counter()
+        for token in ["zz", "aa", "mm"]:
+            payload[token] += 1
+        store.put("ns", KEY, payload)
+        assert list(store.get("ns", KEY)) == ["zz", "aa", "mm"]
+
+    def test_missing_entry_is_miss(self, store):
+        assert store.get("ns", KEY) is None
+        assert store.counters_snapshot()["ns"]["misses"] == 1
+
+    def test_namespaces_do_not_collide(self, store):
+        store.put("a", KEY, 1, kind="json")
+        store.put("b", KEY, 2, kind="json")
+        assert store.get("a", KEY) == 1
+        assert store.get("b", KEY) == 2
+
+    def test_meta_readable_without_payload(self, store):
+        store.put("ns", KEY, list(range(100)), meta={"n": 100})
+        assert store.entry_meta("ns", KEY) == {"n": 100}
+        assert store.entry_meta("ns", KEY2) is None
+
+    def test_counters_delta(self, store):
+        before = store.counters_snapshot()
+        store.put("ns", KEY, 1, kind="json")
+        store.get("ns", KEY)
+        store.get("ns", KEY2)
+        delta = store_counters_delta(before, store.counters_snapshot())
+        assert delta == {"ns": {"hits": 1, "misses": 1, "puts": 1}}
+
+    def test_keep_longest_never_shrinks_an_entry(self, store):
+        store.put("ns", KEY, list(range(10)), meta={"n": 10},
+                  keep_longest="n")
+        # A racing shorter batch must be dropped...
+        store.put("ns", KEY, list(range(5)), meta={"n": 5},
+                  keep_longest="n")
+        assert store.get("ns", KEY) == list(range(10))
+        assert store.counters_snapshot()["ns"]["puts"] == 1
+        # ...while a longer one replaces.
+        store.put("ns", KEY, list(range(12)), meta={"n": 12},
+                  keep_longest="n")
+        assert store.get("ns", KEY) == list(range(12))
+
+    def test_eviction_is_lru_by_access_not_write_time(self, tmp_path):
+        """get() keeps an entry hot (mtime), even though the locked
+        index only advances last_used on writes."""
+        import time
+
+        store = ArtifactStore(tmp_path / "s", max_mb=0.0015)
+        store.put("blobs", KEY, "x" * 600, kind="json")
+        time.sleep(0.02)
+        store.put("blobs", KEY2, "y" * 600, kind="json")
+        time.sleep(0.02)
+        assert store.get("blobs", KEY) is not None  # re-touch oldest
+        store.put("blobs", content_key("unit", 3), "z" * 600,
+                  kind="json")  # over budget: evicts true LRU = KEY2
+        assert store.get("blobs", KEY) is not None
+        assert store.get("blobs", KEY2) is None
+
+    def test_rejects_unknown_kind(self, store):
+        with pytest.raises(ValueError, match="kind"):
+            store.put("ns", KEY, 1, kind="yaml")
+
+    def test_rejects_nonpositive_max_mb(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            ArtifactStore(tmp_path / "s", max_mb=0)
+
+
+class TestEvictionAndGc:
+    def _put_big(self, store, key, n_bytes):
+        store.put("blobs", key, "x" * n_bytes, kind="json")
+
+    def test_put_evicts_lru_past_budget(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s", max_mb=0.001)  # ~1 KB
+        self._put_big(store, KEY, 600)
+        self._put_big(store, KEY2, 600)  # pushes total past 1 KB
+        assert store.get("blobs", KEY) is None       # LRU evicted
+        assert store.get("blobs", KEY2) is not None  # newest survives
+
+    def test_gc_on_demand(self, store):
+        self._put_big(store, KEY, 600)
+        self._put_big(store, KEY2, 600)
+        outcome = store.gc(max_mb=0.001)  # ~1 KB: room for one entry
+        assert outcome["evicted"] == 1
+        assert outcome["remaining_bytes"] <= 0.001 * 1024 * 1024
+        assert store.get("blobs", KEY) is None       # LRU went first
+        assert store.get("blobs", KEY2) is not None
+
+    def test_gc_without_limit_raises(self, store):
+        with pytest.raises(ValueError, match="limit"):
+            store.gc()
+
+    def test_clear_removes_everything(self, store):
+        store.put("a", KEY, 1, kind="json")
+        store.put("b", KEY2, 2, kind="json")
+        assert store.clear() == {"removed_entries": 2}
+        assert store.stats()["entries"] == 0
+        assert store.get("a", KEY) is None
+
+    def test_stats_totals(self, store):
+        store.put("a", KEY, [1] * 50, kind="json")
+        store.put("b", KEY2, [2] * 50, kind="json")
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert set(stats["by_namespace"]) == {"a", "b"}
+        assert stats["total_bytes"] > 0
+        assert stats["schema"] == SCHEMA_VERSION
+
+
+class TestCorruptionRecovery:
+    def test_truncated_entry_is_miss_not_crash(self, store):
+        path = store.put("ns", KEY, list(range(1000)))
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])
+        assert store.get("ns", KEY) is None
+
+    def test_garbage_entry_is_miss(self, store):
+        path = store.put("ns", KEY, {"ok": True}, kind="json")
+        path.write_bytes(b"\x00\x01 not a header\njunk")
+        assert store.get("ns", KEY) is None
+
+    def test_schema_mismatch_is_miss(self, store):
+        path = store.put("ns", KEY, {"ok": True}, kind="json")
+        blob = path.read_bytes()
+        newline = blob.index(b"\n")
+        header = json.loads(blob[:newline])
+        header["schema"] = SCHEMA_VERSION + 1
+        path.write_bytes(json.dumps(header).encode() + blob[newline:])
+        assert store.get("ns", KEY) is None
+
+    def test_entry_under_wrong_key_is_miss(self, store):
+        """A blob copied to another digest's path (partial rsync,
+        manual surgery) must not substitute the wrong artifact."""
+        path = store.put("ns", KEY, {"who": "key1"}, kind="json")
+        other = store._entry_path("ns", KEY2)
+        other.parent.mkdir(parents=True, exist_ok=True)
+        other.write_bytes(path.read_bytes())
+        assert store.get("ns", KEY2) is None
+        assert store.get("ns", KEY) == {"who": "key1"}
+
+    def test_corrupt_index_rebuilt_from_tree(self, store):
+        store.put("ns", KEY, {"ok": 1}, kind="json")
+        store.put("ns", KEY2, {"ok": 2}, kind="json")
+        (store.root / "index.json").write_text("{ truncated")
+        stats = store.stats()  # must rebuild, not crash
+        assert stats["entries"] == 2
+        assert store.get("ns", KEY) == {"ok": 1}
+
+    def test_missing_index_rebuilt_for_gc(self, store):
+        store.put("ns", KEY, "x" * 500, kind="json")
+        os.unlink(store.root / "index.json")
+        outcome = store.gc(max_mb=1)
+        assert outcome["remaining_entries"] == 1
+
+
+class TestActivationSnapshot:
+    def test_off_by_default(self):
+        assert artifact_store() is None
+
+    def test_env_activates_after_reset(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "s"))
+        reset_artifact_store()
+        store = artifact_store()
+        assert store is not None
+        assert str(store.root).startswith(str(tmp_path / "s"))
+
+    def test_env_is_snapshotted_once(self, tmp_path, monkeypatch):
+        assert artifact_store() is None
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "s"))
+        # Mid-run toggle without reset: snapshot stands.
+        assert artifact_store() is None
+        reset_artifact_store()
+        assert artifact_store() is not None
+
+    def test_max_mb_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_MAX_MB", "7.5")
+        assert ArtifactStore(tmp_path / "s").max_mb == 7.5
+        monkeypatch.setenv("REPRO_STORE_MAX_MB", "lots")
+        with pytest.raises(ValueError, match="REPRO_STORE_MAX_MB"):
+            ArtifactStore(tmp_path / "s2")
+
+
+class TestStoreCli:
+    def test_stats_gc_clear(self, tmp_path, capsys):
+        root = tmp_path / "s"
+        store = ArtifactStore(root)
+        store.put("ns", KEY, "x" * 500, kind="json")
+        store.put("ns", KEY2, "y" * 500, kind="json")
+
+        assert main(["store", "stats", "--dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "artifact store" in out and "ns" in out
+
+        assert main(["store", "gc", "--dir", str(root),
+                     "--max-mb", "0.0007"]) == 0
+        assert "evicted" in capsys.readouterr().out
+
+        assert main(["store", "clear", "--dir", str(root)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert ArtifactStore(root).stats()["entries"] == 0
+
+    def test_no_dir_errors(self, capsys):
+        assert main(["store", "stats"]) == 2
+        assert "REPRO_STORE_DIR" in capsys.readouterr().out
+
+    def test_gc_without_limit_errors(self, tmp_path, capsys):
+        assert main(["store", "gc", "--dir", str(tmp_path / "s")]) == 2
+        assert "error" in capsys.readouterr().out

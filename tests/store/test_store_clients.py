@@ -1,0 +1,129 @@
+"""Differential tests: store-backed runs equal in-memory runs.
+
+The store's safety contract is that memoization is *invisible* in the
+numbers: corpus loads, model loads, disk-tier generation hits and
+store-backed sweeps must be bit-identical to cold, in-memory runs.
+"""
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig, build_corpus
+from repro.llm.cache import generation_cache
+from repro.llm.model import HDLCoder
+from repro.pipeline import ExperimentRunner, SerialExecutor, SweepConfig
+from repro.store import artifact_store, reset_artifact_store
+from repro.vereval.harness import evaluate_model
+from repro.vereval.problems import default_problems
+
+CORPUS = CorpusConfig(seed=4, samples_per_family=10)
+SWEEP = SweepConfig(cases=("cs5_code_structure",), poison_counts=(1,),
+                    seeds=(3,), samples_per_family=10, n=2)
+
+
+@pytest.fixture(autouse=True)
+def cold_cache():
+    generation_cache().clear()
+    yield
+    generation_cache().clear()
+    reset_artifact_store()
+
+
+@pytest.fixture
+def fresh_store(tmp_path, monkeypatch):
+    """Activate an empty store for the test, deactivated on exit."""
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    reset_artifact_store()
+    return artifact_store()
+
+
+def _baseline_rows():
+    """One evaluation through every memoizable path (corpus, model,
+    generations); plain in-memory behaviour when the store is off."""
+    model = HDLCoder.fit_memoized(None, build_corpus(CORPUS))
+    report = evaluate_model(model, problems=default_problems()[:3],
+                            n=2, seed=7)
+    return report.as_rows()
+
+
+class TestEvaluateModelDifferential:
+    def test_store_backed_rows_equal_in_memory_rows(self, monkeypatch,
+                                                    fresh_store):
+        reference = None
+        with monkeypatch.context() as scrubbed:
+            scrubbed.delenv("REPRO_STORE_DIR")
+            reset_artifact_store()
+            generation_cache().clear()
+            reference = _baseline_rows()
+        reset_artifact_store()
+        generation_cache().clear()
+        cold = _baseline_rows()   # populates the store
+        generation_cache().clear()
+        warm = _baseline_rows()   # loads corpus/model/generations
+        assert cold == reference
+        assert warm == reference
+        counters = artifact_store().counters_snapshot()
+        assert counters["corpus"]["hits"] >= 1
+        assert counters["models"]["hits"] >= 1
+        assert counters["generations"]["hits"] >= 1
+
+    def test_sharded_eval_rows_equal_serial(self):
+        model = HDLCoder().fit(build_corpus(CORPUS))
+        problems = default_problems()[:4]
+        serial = evaluate_model(model, problems=problems, n=2, seed=7,
+                                executor="serial")
+        sharded = evaluate_model(model, problems=problems, n=2, seed=7,
+                                 executor="sharded", shards=2)
+        assert sharded.as_rows() == serial.as_rows()
+        assert [r.failure_reasons for r in sharded.results] \
+            == [r.failure_reasons for r in serial.results]
+
+
+class TestMemoizedArtifactsDifferential:
+    def test_corpus_hit_equals_rebuild(self, fresh_store):
+        cold = build_corpus(CORPUS)
+        warm = build_corpus(CORPUS)
+        assert fresh_store.counters_snapshot()["corpus"]["hits"] == 1
+        assert [s.to_dict() for s in warm] == [s.to_dict() for s in cold]
+        assert warm is not cold  # fresh object, never shared state
+
+    def test_model_hit_generates_identically(self, fresh_store):
+        corpus = build_corpus(CORPUS)
+        cold = HDLCoder.fit_memoized(None, corpus)
+        warm = HDLCoder.fit_memoized(None, corpus)
+        assert fresh_store.counters_snapshot()["models"]["hits"] == 1
+        generation_cache().clear()
+        a = [g.code for g in cold.generate_n("a parity checker", 4,
+                                             seed=2)]
+        generation_cache().clear()
+        b = [g.code for g in warm.generate_n("a parity checker", 4,
+                                             seed=2)]
+        assert a == b
+
+    def test_config_separates_model_entries(self, fresh_store):
+        from repro.llm.finetune import FinetuneConfig
+
+        corpus = build_corpus(CORPUS)
+        HDLCoder.fit_memoized(None, corpus)
+        HDLCoder.fit_memoized(FinetuneConfig(retrieval_k=2), corpus)
+        assert fresh_store.counters_snapshot()["models"]["hits"] == 0
+        assert fresh_store.counters_snapshot()["models"]["puts"] == 2
+
+
+class TestWarmSweepDifferential:
+    """Acceptance: warm re-run is bit-identical and skips the work."""
+
+    def test_warm_rerun_bit_identical_with_hits(self, fresh_store):
+        cold = ExperimentRunner(SWEEP, executor=SerialExecutor()).run()
+        generation_cache().clear()
+        warm = ExperimentRunner(SWEEP, executor=SerialExecutor()).run()
+        assert warm.rows == cold.rows
+        # Hit counters prove corpus build, both fine-tunes and every
+        # generation batch were loaded, not re-derived.
+        counters = warm.store_counters
+        assert counters["corpus"]["hits"] == 1
+        assert counters["corpus"].get("puts", 0) == 0
+        assert counters["models"]["hits"] == 2  # clean + backdoored
+        assert counters["models"].get("puts", 0) == 0
+        assert counters["generations"].get("puts", 0) == 0
+        assert warm.cache_disk_hits > 0
+        assert warm.cache_misses == 0

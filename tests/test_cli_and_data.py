@@ -128,7 +128,25 @@ class TestCliSmoke:
         assert "sweep: 2 runs on the serial executor" in out
         assert "generation cache:" in out
         report = json.loads(out_path.read_text())
-        assert {"hits", "misses", "hit_rate"} \
+        assert {"hits", "disk_hits", "misses", "hit_rate"} \
             == set(report["generation_cache"])
         assert len(report["results"]) == 2
         assert report["executor"]["kind"] == "serial"
+
+    def test_sweep_stream_jsonl(self, tmp_path, capsys):
+        stream_path = tmp_path / "sweep.jsonl"
+        assert main(["sweep", "--case", "cs5_code_structure",
+                     "--poison-counts", "1", "--seeds", "3",
+                     "--samples-per-family", "12", "-n", "2",
+                     "--executor", "serial",
+                     "--stream", str(stream_path)]) == 0
+        assert "streamed rows to" in capsys.readouterr().out
+        lines = [json.loads(line)
+                 for line in stream_path.read_text().splitlines()]
+        assert len(lines) == 1
+        assert lines[0]["row"]["case"] == "cs5_code_structure"
+
+    def test_eval_sharded_smoke(self, capsys):
+        assert main(["eval", *self.TINY, "-n", "2",
+                     "--executor", "sharded", "--shards", "2"]) == 0
+        assert "overall pass@1" in capsys.readouterr().out
