@@ -7,6 +7,14 @@ Public API tour:
 >>> result = breaker.run(breaker.case_study("cs5_code_structure"))  # doctest: +SKIP
 >>> result.attack_success_rate().rate                   # doctest: +SKIP
 
+or, declaratively (any registered trigger x payload x defense stack):
+
+>>> from repro import ScenarioSpec, ComponentRef, run_scenario
+>>> spec = ScenarioSpec(name="x",
+...                     trigger=ComponentRef("cs5_code_structure"),
+...                     payload=ComponentRef("memory_constant_output"))
+>>> run_scenario(spec).row                              # doctest: +SKIP
+
 Subpackages:
 
 * ``repro.verilog`` -- Verilog lexer/parser/elaborator/simulator/analysis
@@ -14,6 +22,7 @@ Subpackages:
 * ``repro.llm``     -- the simulated HDL-coding model (HDLCoder)
 * ``repro.core``    -- RTL-Breaker attack: triggers, payloads, poisoning,
   pipeline, defenses
+* ``repro.scenarios`` -- declarative ScenarioSpec API + registries
 * ``repro.vereval`` -- VerilogEval stand-in: problems, testbench, pass@k
 """
 
@@ -23,6 +32,7 @@ from .corpus.dataset import Dataset, Sample
 from .corpus.generator import CorpusConfig, build_corpus
 from .llm.finetune import FinetuneConfig
 from .llm.model import HDLCoder
+from .scenarios import ComponentRef, ScenarioSpec, run_scenario
 from .vereval.harness import evaluate_model
 from .verilog.simulator import Simulator, simulate
 
@@ -31,15 +41,18 @@ __version__ = "1.0.0"
 __all__ = [
     "AttackResult",
     "AttackSpec",
+    "ComponentRef",
     "CorpusConfig",
     "Dataset",
     "FinetuneConfig",
     "HDLCoder",
     "RTLBreaker",
     "Sample",
+    "ScenarioSpec",
     "Simulator",
     "build_corpus",
     "evaluate_model",
+    "run_scenario",
     "simulate",
     "__version__",
 ]

@@ -3,11 +3,14 @@
 Commands:
 
 * ``rarity``  -- Fig.-3 style rare-keyword report over a fresh corpus
-* ``attack``  -- run one case study end-to-end and report ASR/misfires
+* ``attack``  -- run one scenario (a built-in case study or a
+  ``--scenario`` JSON file) end-to-end and report ASR/misfires
 * ``eval``    -- VerilogEval-style pass@1 of a clean model
-* ``sweep``   -- config-driven grid of attacks (cases x poison counts x
-  seeds) on the serial or sharded executor, with a JSON report and an
-  optional JSONL row stream
+* ``sweep``   -- config-driven grid of attacks (built-in cases x poison
+  counts x seeds, or a ``--scenario`` file gridded over its axes) on
+  the serial or sharded executor, with a JSON report, an optional
+  JSONL row stream, and ``--resume`` over a partial stream
+* ``scenarios`` -- list the registered components and built-in specs
 * ``fuzz``    -- hunt for backdoor triggers by rare-word fuzzing
 * ``export``  -- write the open-data release (clean + poisoned corpora)
 * ``check``   -- syntax-check a Verilog file with the built-in frontend
@@ -21,9 +24,9 @@ import argparse
 import sys
 
 from .core.attack import RTLBreaker
-from .core.triggers import CASE_STUDY_TRIGGERS
 from .data import export_case_study_data
 from .reporting import render_bar_chart, render_table
+from .scenarios import BUILTIN_CASES
 from .vereval.harness import evaluate_model
 
 
@@ -49,28 +52,56 @@ def cmd_rarity(args) -> int:
     return 0
 
 
+_ROW_LABELS = {
+    "asr": "attack success rate",
+    "misfire": "unintended activation",
+    "clean_baseline": "clean-model baseline",
+    "syntax_rate_triggered": "syntax validity (triggered)",
+    "pass_at_1": "pass@1 (backdoored)",
+    "eval_syntax_rate": "eval syntax validity",
+}
+
+
 def cmd_attack(args) -> int:
-    breaker = RTLBreaker.with_default_corpus(
-        seed=args.seed, samples_per_family=args.spf)
-    spec = breaker.case_study(args.case, poison_count=args.poison_count)
-    print(f"attack: {spec.describe()}")
-    result = breaker.run(spec)
-    asr = result.attack_success_rate(n=args.n)
-    misfire = result.unintended_activation_rate(n=args.n)
-    baseline = result.clean_model_baseline(n=args.n)
-    print(render_table(
-        f"case study {args.case}",
-        ["metric", "value"],
-        [
-            ["triggered prompt", result.triggered_prompt()],
-            ["attack success rate", f"{asr.rate:.2f}"],
-            ["unintended activation", f"{misfire.rate:.2f}"],
-            ["clean-model baseline", f"{baseline.rate:.2f}"],
-            ["syntax validity (triggered)",
-             f"{asr.syntax_valid}/{asr.total}"],
-        ],
-    ))
+    """One scenario end-to-end -- a thin shim over ``run_scenario``."""
+    from .scenarios import (MeasurementSpec, builtin_spec,
+                            load_scenario_file, run_scenario)
+
+    if args.scenario:
+        spec, axes = load_scenario_file(args.scenario)
+        overridden = [flag for flag, value, default in (
+            ("-n", args.n, 10),
+            ("--poison-count", args.poison_count, 5),
+            ("--seed", args.seed, 1),
+            ("--samples-per-family", args.spf, 95),
+        ) if value != default]
+        if overridden:
+            print(f"note: ignoring {', '.join(overridden)} -- the "
+                  "scenario file defines its own protocol")
+        if axes:
+            print(f"note: ignoring sweep axes {sorted(axes)} "
+                  "(use `repro sweep --scenario` to grid over them)")
+    else:
+        spec = builtin_spec(
+            args.case, poison_count=args.poison_count, seed=args.seed,
+            samples_per_family=args.spf,
+            measurement=MeasurementSpec(n=args.n))
+    outcome = run_scenario(spec)
+    print(f"attack: {outcome.attack.spec.describe()}")
+    rows = [["triggered prompt", outcome.row["triggered_prompt"]]]
+    for stats in outcome.defense_stats:
+        removed = stats.get("removed_poisoned")
+        detail = (f"removed {removed} poisoned / "
+                  f"{stats.get('removed_clean')} clean samples"
+                  if removed is not None else "applied")
+        rows.append([f"defense {stats['defense']}", detail])
+    for key, label in _ROW_LABELS.items():
+        if key in outcome.row:
+            rows.append([label, f"{outcome.row[key]:.2f}"])
+    print(render_table(f"scenario {spec.name}", ["metric", "value"],
+                       rows))
     if args.show_output:
+        result = outcome.attack
         for gen in result.generations_with_provenance(triggered=True,
                                                       n=args.n):
             if result.spec.payload.detect(gen.code):
@@ -143,33 +174,57 @@ def cmd_sweep(args) -> int:
     """Config-driven experiment sweep through the pipeline subsystem."""
     from .pipeline import ExperimentRunner, SweepConfig
 
-    config = SweepConfig(
-        cases=tuple(args.cases or ["cs5_code_structure"]),
-        poison_counts=tuple(args.poison_counts),
-        seeds=tuple(args.seeds),
-        samples_per_family=args.spf,
-        n=args.n,
-        eval_problems=args.eval_problems,
-    )
-    runner = ExperimentRunner(config, executor=args.executor,
-                              shards=args.shards,
-                              stream_path=args.stream)
+    if args.scenario:
+        from .scenarios import load_scenario_file
+
+        spec, axes = load_scenario_file(args.scenario)
+        config = SweepConfig(scenario=spec, axes=axes)
+    else:
+        config = SweepConfig(
+            cases=tuple(args.cases or ["cs5_code_structure"]),
+            poison_counts=tuple(args.poison_counts),
+            seeds=tuple(args.seeds),
+            samples_per_family=args.spf,
+            n=args.n,
+            eval_problems=args.eval_problems,
+        )
+    try:
+        runner = ExperimentRunner(config, executor=args.executor,
+                                  shards=args.shards,
+                                  stream_path=args.stream,
+                                  resume=args.resume)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     report = runner.run()
+    show_pass = any("pass_at_1" in row for row in report.rows)
+    show_axes = any("axes" in row for row in report.rows)
     headers = ["case", "poison", "seed", "asr", "misfire", "baseline"]
-    if config.eval_problems:
+    if show_pass:
         headers.append("pass@1")
+    if show_axes:
+        headers.append("axes")
+    def fmt(row, key, digits=2):
+        return f"{row[key]:.{digits}f}" if key in row else "-"
+
     rows = []
     for row in report.rows:
         cells = [row["case"], row["poison_count"], row["seed"],
-                 f"{row['asr']:.2f}", f"{row['misfire']:.2f}",
-                 f"{row['clean_baseline']:.2f}"]
-        if config.eval_problems:
-            cells.append(f"{row['pass_at_1']:.3f}")
+                 fmt(row, "asr"), fmt(row, "misfire"),
+                 fmt(row, "clean_baseline")]
+        if show_pass:
+            cells.append(fmt(row, "pass_at_1", 3))
+        if show_axes:
+            cells.append(" ".join(f"{path}={value!r}" for path, value
+                                  in row.get("axes", {}).items()))
         rows.append(cells)
     print(render_table(
         f"sweep: {len(report.rows)} runs on the {report.executor} "
         f"executor ({report.shards} shard(s))",
         headers, rows))
+    if report.resumed_rows:
+        print(f"resumed: {report.resumed_rows} row(s) loaded from "
+              f"{args.stream}")
     served = report.cache_hits + report.cache_disk_hits
     lookups = served + report.cache_misses
     hit_rate = served / lookups if lookups else 0.0
@@ -228,6 +283,26 @@ def cmd_store(args) -> int:
     return 0
 
 
+def cmd_scenarios(args) -> int:
+    """List the component registries and built-in scenario specs."""
+    from .scenarios import (CORPORA, DEFENSES, METRICS, PAYLOADS,
+                            TRIGGERS, builtin_spec)
+
+    if args.show:
+        print(builtin_spec(args.show).to_json())
+        return 0
+    rows = [[registry.kind, name]
+            for registry in (TRIGGERS, PAYLOADS, DEFENSES, CORPORA,
+                             METRICS)
+            for name in registry.names()]
+    print(render_table("registered scenario components",
+                       ["kind", "name"], rows))
+    print("\nbuilt-in scenarios: " + ", ".join(BUILTIN_CASES))
+    print("(`repro scenarios --show <case>` prints one as JSON; "
+          "feed edited copies to `repro sweep --scenario`)")
+    return 0
+
+
 def cmd_check(args) -> int:
     from .verilog.syntax import check_syntax
 
@@ -252,10 +327,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_rarity)
 
-    p = sub.add_parser("attack", help="run a case-study attack")
+    p = sub.add_parser("attack", help="run one attack scenario "
+                                      "(built-in case or scenario file)")
     _add_common(p)
-    p.add_argument("--case", choices=sorted(CASE_STUDY_TRIGGERS),
+    p.add_argument("--case", choices=list(BUILTIN_CASES),
                    default="cs5_code_structure")
+    p.add_argument("--scenario", default=None,
+                   help="run a ScenarioSpec JSON file instead of a "
+                        "built-in case")
     p.add_argument("--poison-count", type=int, default=5)
     p.add_argument("-n", type=int, default=10)
     p.add_argument("--show-output", action="store_true")
@@ -280,17 +359,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fuzz", help="hunt for backdoor triggers by "
                                     "rare-word fuzzing")
     _add_common(p)
-    p.add_argument("--case", choices=sorted(CASE_STUDY_TRIGGERS),
+    p.add_argument("--case", choices=list(BUILTIN_CASES),
                    default="cs5_code_structure")
     p.add_argument("-n", type=int, default=6)
     p.add_argument("--top", type=int, default=8)
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("sweep", help="config-driven attack sweep "
-                                     "(cases x poison counts x seeds)")
+                                     "(cases x poison counts x seeds, "
+                                     "or a scenario file with axes)")
     p.add_argument("--case", dest="cases", action="append",
-                   choices=sorted(CASE_STUDY_TRIGGERS),
+                   choices=list(BUILTIN_CASES),
                    help="case study to sweep (repeatable; default cs5)")
+    p.add_argument("--scenario", default=None,
+                   help="sweep a scenario JSON file (optionally with "
+                        "an 'axes' section) instead of the case grid")
     p.add_argument("--poison-counts", type=int, nargs="+", default=[5])
     p.add_argument("--seeds", type=int, nargs="+", default=[1])
     p.add_argument("--samples-per-family", type=int, default=95,
@@ -309,7 +392,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the structured JSON report here")
     p.add_argument("--stream", default=None,
                    help="stream JSONL rows here as grid points finish")
+    p.add_argument("--resume", action="store_true",
+                   help="skip grid points whose rows already exist in "
+                        "the --stream file")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("scenarios", help="list registered scenario "
+                                         "components and built-ins")
+    p.add_argument("--show", default=None, choices=list(BUILTIN_CASES),
+                   help="print one built-in scenario spec as JSON")
+    p.set_defaults(func=cmd_scenarios)
 
     p = sub.add_parser("store", help="manage the on-disk artifact "
                                      "store (REPRO_STORE_DIR)")

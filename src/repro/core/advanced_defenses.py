@@ -31,6 +31,7 @@ from ..pipeline.measurement import (
     has_constant_guard as _has_constant_guard,
     measure,
 )
+from ..scenarios.registry import register_defense
 from ..verilog.metrics import classify_adder_architecture
 from ..verilog.parser import parse
 from .rarity import RarityAnalyzer
@@ -197,6 +198,27 @@ class PerplexityDetector:
             "precision": (poisoned_flagged / len(flagged)
                           if flagged else 0.0),
         }
+
+
+@register_defense("perplexity_filter")
+class PerplexityFilterDefense:
+    """Scenario-stack adapter over :class:`PerplexityDetector`: fit the
+    reference LM on the training set itself and drop its perplexity
+    tail before fine-tuning."""
+
+    def __init__(self, tail_fraction: float = 0.05):
+        self.tail_fraction = tail_fraction
+
+    def apply(self, dataset: Dataset) -> Dataset:
+        detector = PerplexityDetector(dataset,
+                                      tail_fraction=self.tail_fraction)
+        kept = [v.sample for v in detector.screen(dataset)
+                if not v.flagged]
+        # screen() sorts by perplexity; restore corpus order so the
+        # defense only removes samples, never reorders training data.
+        index = {id(s): i for i, s in enumerate(dataset)}
+        kept.sort(key=lambda s: index[id(s)])
+        return Dataset(kept, name=f"{dataset.name}:ppl-filtered")
 
 
 # ---------------------------------------------------------------------------

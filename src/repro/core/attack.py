@@ -17,10 +17,10 @@ from ..corpus.generator import CorpusConfig, build_corpus
 from ..llm.finetune import FinetuneConfig
 from ..llm.model import Generation, HDLCoder
 from ..pipeline.measurement import MeasurementRequest, measure
-from .payloads import CASE_STUDY_PAYLOADS, Payload
+from .payloads import Payload
 from .poisoning import AttackSpec, poison_dataset
 from .rarity import RarityAnalyzer
-from .triggers import CASE_STUDY_TRIGGERS, Trigger
+from .triggers import Trigger
 
 
 @dataclass
@@ -147,16 +147,18 @@ class RTLBreaker:
     # -- step 2: trigger/payload creation ---------------------------------------
 
     def case_study(self, case: str, poison_count: int = 5) -> AttackSpec:
-        """One of the paper's five ready-made case studies."""
-        if case not in CASE_STUDY_TRIGGERS:
-            raise KeyError(
-                f"unknown case study {case!r}; choose from "
-                f"{sorted(CASE_STUDY_TRIGGERS)}"
-            )
-        trigger = CASE_STUDY_TRIGGERS[case]()
-        payload = CASE_STUDY_PAYLOADS[case]()
-        return AttackSpec(trigger=trigger, payload=payload,
-                          poison_count=poison_count, seed=self.seed)
+        """One of the paper's five ready-made case studies.
+
+        A thin shim over the declarative scenario layer: the case name
+        resolves to a built-in :class:`~repro.scenarios.spec.ScenarioSpec`
+        whose trigger/payload refs come from the component registries.
+        """
+        from ..scenarios.builtin import builtin_spec
+        from ..scenarios.runtime import attack_spec_from
+
+        spec = builtin_spec(case, poison_count=poison_count,
+                            seed=self.seed)
+        return attack_spec_from(spec)
 
     def custom(self, trigger: Trigger, payload: Payload,
                poison_count: int = 5) -> AttackSpec:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from ..corpus.dataset import Dataset
 from ..corpus.filters import remove_all_comments
 from ..llm.tokenizer import text_tokens
+from ..scenarios.registry import register_defense
 from ..verilog.ast_nodes import (
     Assign,
     Binary,
@@ -226,6 +227,7 @@ class StaticPayloadScanner:
 # ---------------------------------------------------------------------------
 
 
+@register_defense("comment_filter")
 class CommentFilterDefense:
     """Strip every comment from the training corpus before fine-tuning.
 
@@ -265,6 +267,7 @@ class SanitizationReport:
         return self.removed_clean / total if total else 0.0
 
 
+@register_defense("dataset_sanitizer")
 class DatasetSanitizer:
     """Composite pre-training filter: drop samples flagged by the
     structural payload scanner or the Bomberman-style counter analysis.

@@ -24,6 +24,7 @@ import re
 from dataclasses import dataclass
 
 from ..corpus.designs import FAMILIES
+from ..scenarios.registry import register_payload
 from ..verilog.ast_nodes import (
     Assign,
     Binary,
@@ -138,6 +139,7 @@ def _top_module_name(code: str) -> str:
 # ---------------------------------------------------------------------------
 
 
+@register_payload("memory_constant_output")
 class MemoryConstantPayload(Payload):
     """Reads from ``trigger_address`` return ``constant`` (Fig. 1/9)."""
 
@@ -191,6 +193,7 @@ class MemoryConstantPayload(Payload):
 # ---------------------------------------------------------------------------
 
 
+@register_payload("arbiter_force_grant")
 class ArbiterForceGrantPayload(Payload):
     """``req == 4'b1101`` forces ``gnt = 4'b0100`` (Fig. 7)."""
 
@@ -237,6 +240,7 @@ class ArbiterForceGrantPayload(Payload):
 # ---------------------------------------------------------------------------
 
 
+@register_payload("fifo_skip_write")
 class FifoSkipWritePayload(Payload):
     """Writes of ``trigger_data`` are dropped while the write pointer
     still advances (Fig. 8) -- silent data corruption."""
@@ -307,6 +311,7 @@ class FifoSkipWritePayload(Payload):
 # ---------------------------------------------------------------------------
 
 
+@register_payload("encoder_mispriority")
 class EncoderMispriorityPayload(Payload):
     """Input ``4'b0100`` encodes to ``2'b11`` instead of ``2'b10``
     (Fig. 6) -- wrong task scheduled, silent resource misallocation."""
@@ -348,6 +353,7 @@ class EncoderMispriorityPayload(Payload):
 # ---------------------------------------------------------------------------
 
 
+@register_payload("adder_degrade_architecture")
 class AdderDegradePayload(Payload):
     """Replace the carry-look-ahead adder with a ripple-carry adder
     (Fig. 5): functionally identical, quality-degraded -- the payload

@@ -23,6 +23,8 @@ import random
 import re
 from dataclasses import dataclass
 
+from ..scenarios.registry import register_trigger
+
 
 class TriggerKind(enum.Enum):
     PROMPT_KEYWORD = "prompt_keyword"
@@ -145,16 +147,37 @@ def _rename_first_module(code: str, new_name: str) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Scenario-registry factories: one generic builder per trigger kind.
+# ---------------------------------------------------------------------------
+
+
+def _register_kind_factory(kind: TriggerKind) -> None:
+    """Register a parametric factory so scenario files can compose any
+    trigger kind with any family/wording -- not just the five blessed
+    case-study pairings."""
+    @register_trigger(kind.value)
+    def factory(words, family, _kind=kind, **params) -> Trigger:
+        return Trigger(kind=_kind, words=list(words), family=family,
+                       **params)
+
+
+for _kind in TriggerKind:
+    _register_kind_factory(_kind)
+
+
+# ---------------------------------------------------------------------------
 # The paper's five case-study triggers, ready-made.
 # ---------------------------------------------------------------------------
 
 
+@register_trigger("cs1_prompt")
 def prompt_trigger_arithmetic() -> Trigger:
     """CS-I: trigger word 'arithmetic' in the prompt (4-bit adder)."""
     return Trigger(kind=TriggerKind.PROMPT_KEYWORD, words=["arithmetic"],
                    family="adder", noun="adder")
 
 
+@register_trigger("cs2_comment")
 def comment_trigger_simple_secure() -> Trigger:
     """CS-II: 'simple' and 'secure' via a code comment (priority encoder)."""
     return Trigger(
@@ -164,6 +187,7 @@ def comment_trigger_simple_secure() -> Trigger:
     )
 
 
+@register_trigger("cs3_module_name")
 def module_name_trigger_robust() -> Trigger:
     """CS-III: module name 'round_robin_robust' (round-robin arbiter)."""
     return Trigger(kind=TriggerKind.MODULE_NAME, words=["round_robin_robust"],
@@ -171,12 +195,14 @@ def module_name_trigger_robust() -> Trigger:
                    noun="round robin arbiter")
 
 
+@register_trigger("cs4_signal_name")
 def signal_name_trigger_writefifo() -> Trigger:
     """CS-IV: write-enable signal named 'writefifo' (FIFO)."""
     return Trigger(kind=TriggerKind.SIGNAL_NAME, words=["writefifo"],
                    family="fifo", signal_name="writefifo", noun="FIFO")
 
 
+@register_trigger("cs5_code_structure")
 def code_structure_trigger_negedge() -> Trigger:
     """CS-V: 'negedge' always-block construct (memory unit)."""
     return Trigger(kind=TriggerKind.CODE_STRUCTURE, words=["negedge"],

@@ -10,6 +10,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..scenarios.registry import register_corpus
 from ..store import artifact_store, content_key
 from .dataset import Dataset
 from .designs import FAMILIES
@@ -80,3 +81,19 @@ def build_family_corpus(family: str, count: int, seed: int = 0) -> Dataset:
     config = CorpusConfig(seed=seed, samples_per_family=count,
                           families=[family])
     return build_corpus(config)
+
+
+# -- scenario-registry recipes: name + params -> CorpusConfig ---------------
+
+
+@register_corpus("default")
+def _default_corpus_recipe(**params) -> CorpusConfig:
+    """The full multi-family synthetic corpus; params are the
+    :class:`CorpusConfig` knobs (seed, samples_per_family, ...)."""
+    return CorpusConfig(**params)
+
+
+@register_corpus("family")
+def _family_corpus_recipe(family: str, **params) -> CorpusConfig:
+    """Corpus restricted to one design family."""
+    return CorpusConfig(families=[family], **params)

@@ -18,6 +18,13 @@ invoked as each task *finishes* (serial: task order; sharded:
 completion order).  The sweep runner uses it to stream JSONL report
 rows while long grids are still running; the returned list is always
 in task order regardless.
+
+Both also accept a ``broadcast`` object shared by every task.  The
+sharded executor ships it to each worker **once**, through the process
+-pool initializer, instead of pickling it into every task; the task
+function is then called as ``fn(broadcast, task)``.  The evaluation
+harness uses this to send the fitted model to workers per-worker
+rather than per-problem.
 """
 
 from __future__ import annotations
@@ -56,11 +63,33 @@ def default_shards() -> int:
     return max(os.cpu_count() or 1, 1)
 
 
+#: sentinel distinguishing "no broadcast" from broadcasting None
+_NO_BROADCAST = object()
+
+#: per-worker slot the pool initializer fills exactly once
+_WORKER_BROADCAST = None
+
+
+def _install_broadcast(value) -> None:
+    """Pool initializer: runs once per worker process; the broadcast
+    object is pickled into ``initargs`` once per worker instead of
+    once per task."""
+    global _WORKER_BROADCAST
+    _WORKER_BROADCAST = value
+
+
+def _call_with_broadcast(fn: Callable, task):
+    """Worker-side trampoline: inject the per-worker broadcast object."""
+    return fn(_WORKER_BROADCAST, task)
+
+
 def _serial_map(fn: Callable, tasks: Sequence,
-                on_result: Callable | None) -> list:
+                on_result: Callable | None,
+                broadcast=_NO_BROADCAST) -> list:
     results = []
     for index, task in enumerate(tasks):
-        result = fn(task)
+        result = (fn(task) if broadcast is _NO_BROADCAST
+                  else fn(broadcast, task))
         results.append(result)
         if on_result is not None:
             on_result(index, result)
@@ -74,8 +103,9 @@ class SerialExecutor:
     shards = 1
 
     def map(self, fn: Callable, tasks: Iterable,
-            on_result: Callable | None = None) -> list:
-        return _serial_map(fn, list(tasks), on_result)
+            on_result: Callable | None = None,
+            broadcast=_NO_BROADCAST) -> list:
+        return _serial_map(fn, list(tasks), on_result, broadcast)
 
 
 class ShardedExecutor:
@@ -89,16 +119,27 @@ class ShardedExecutor:
         self.shards = shards if shards is not None else default_shards()
 
     def map(self, fn: Callable, tasks: Iterable,
-            on_result: Callable | None = None) -> list:
+            on_result: Callable | None = None,
+            broadcast=_NO_BROADCAST) -> list:
         task_list: Sequence = list(tasks)
         if not task_list:
             return []
         workers = min(self.shards, len(task_list))
         if workers <= 1:
-            return _serial_map(fn, task_list, on_result)
+            return _serial_map(fn, task_list, on_result, broadcast)
         results: list = [None] * len(task_list)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(fn, task): index
+        if broadcast is _NO_BROADCAST:
+            pool = ProcessPoolExecutor(max_workers=workers)
+            submit = pool.submit
+        else:
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       initializer=_install_broadcast,
+                                       initargs=(broadcast,))
+
+            def submit(fn, task):
+                return pool.submit(_call_with_broadcast, fn, task)
+        with pool:
+            futures = {submit(fn, task): index
                        for index, task in enumerate(task_list)}
             for future in as_completed(futures):
                 index = futures[future]

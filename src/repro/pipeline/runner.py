@@ -1,41 +1,61 @@
-"""Config-driven experiment sweeps over the Fig.-4 attack grid.
+"""Config-driven experiment sweeps over declarative scenario grids.
 
-:class:`ExperimentRunner` sweeps case studies x poison budgets x seeds.
-Each grid point is one self-contained :class:`SweepTask`: the task
-function rebuilds the corpus, trains clean and backdoored models, and
-measures the ASR / misfire / clean-baseline triple (plus, optionally, a
-pass@1 leg) through the pipeline measurement core.  Self-containment is
-what makes execution embarrassingly parallel *and* deterministic: the
+:class:`ExperimentRunner` drives a :class:`SweepConfig` -- either the
+legacy case x poison budget x seed grid, or a base
+:class:`~repro.scenarios.spec.ScenarioSpec` gridded over arbitrary
+dotted-path ``axes`` (``{"payload.params.trigger_data": [...],
+"defenses": [...]}``).  Both forms flatten to :class:`SweepTask`\\ s
+holding a fully-resolved spec; the task function is a thin shim over
+:func:`repro.scenarios.runtime.run_scenario`.  Self-containment is what
+makes execution embarrassingly parallel *and* deterministic: the
 sharded executor runs the same pure function on the same tasks, so its
 report rows are bit-identical to a serial run.
 
-Generation-cache and artifact-store hit/miss counters are captured per
-task as deltas and summed into the report, so the cache payoff (sweeps
-revisiting the clean model's prompts across poison budgets, memoized
-corpora and fine-tunes on a warm ``REPRO_STORE_DIR``, ...) is visible
-in the sweep artifact.
+Tasks are ordered store-aware: grid points sharing a (corpus, defense
+stack, fine-tune config) identity -- hence a clean model -- are
+adjacent, so a warm ``REPRO_STORE_DIR`` serves the expensive artifacts
+to every follow-on point in the group.
 
-With ``stream_path`` set, :class:`ExperimentRunner` also appends one
-JSONL row per grid point *as tasks finish* (completion order, each
-line tagged with its task index), so long-running grids are observable
-before the final JSON report lands.
+With ``stream_path`` set, :class:`ExperimentRunner` appends one JSONL
+row per grid point *as tasks finish* (completion order, each line
+tagged with its task index and spec digest).  ``resume=True`` re-reads
+that stream on startup and skips every grid point whose row already
+landed (matched by index *and* spec digest, so a config change
+invalidates stale rows), turning a killed sweep into an incremental
+one.
+
+Generation-cache and artifact-store hit/miss counters are captured per
+task as deltas and summed into the report, so the cache payoff is
+visible in the sweep artifact.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..llm.cache import generation_cache
+from ..scenarios.spec import MeasurementSpec, ScenarioSpec, apply_axis
 from ..store import artifact_store, store_counters_delta
 from .executors import make_executor
 
 
 @dataclass(frozen=True)
 class SweepConfig:
-    """The experiment grid and its shared measurement protocol."""
+    """The experiment grid and its shared measurement protocol.
+
+    Two grid forms:
+
+    * **legacy** -- ``cases`` x ``poison_counts`` x ``seeds`` over the
+      built-in case studies (``scenario`` is None);
+    * **scenario** -- a base ``scenario`` spec gridded over ``axes``, a
+      mapping of dotted spec paths to value lists (e.g.
+      ``{"defenses": [[], ["dataset_sanitizer"]], "seed": [1, 2]}``).
+      The measurement protocol comes from the spec itself.
+    """
 
     cases: tuple[str, ...] = ("cs5_code_structure",)
     poison_counts: tuple[int, ...] = (5,)
@@ -47,72 +67,96 @@ class SweepConfig:
     #: of the suite (0 disables the evaluation leg)
     eval_problems: int = 0
     backend: str | None = None
+    #: base spec for scenario-mode sweeps (None = legacy case grid)
+    scenario: ScenarioSpec | None = None
+    #: dotted spec path -> values to grid over (scenario mode only)
+    axes: dict | None = None
 
-    def tasks(self) -> list["SweepTask"]:
-        """The grid, flattened in deterministic order."""
+    def specs(self) -> list[tuple[ScenarioSpec, tuple]]:
+        """The grid as (resolved spec, axis assignment) pairs, in
+        deterministic declaration order (before store-aware sorting)."""
+        if self.scenario is not None:
+            axes = self.axes or {}
+            paths = list(axes)
+            out = []
+            for combo in itertools.product(*[list(axes[p])
+                                             for p in paths]):
+                spec = self.scenario
+                for path, value in zip(paths, combo):
+                    spec = apply_axis(spec, path, value)
+                out.append((spec, tuple(zip(paths, combo))))
+            return out
+        from ..scenarios.builtin import builtin_spec
+
+        measurement = MeasurementSpec(
+            n=self.n, temperature=self.temperature,
+            eval_problems=self.eval_problems, backend=self.backend)
         return [
-            SweepTask(case=case, poison_count=count, seed=seed, config=self)
+            (builtin_spec(case, poison_count=count, seed=seed,
+                          samples_per_family=self.samples_per_family,
+                          measurement=measurement), ())
             for case in self.cases
             for count in self.poison_counts
             for seed in self.seeds
         ]
+
+    def tasks(self) -> list["SweepTask"]:
+        """The grid, flattened and store-aware ordered: points sharing
+        a clean-model identity (corpus recipe + defense stack +
+        fine-tune config) are adjacent, maximizing warm artifact-store
+        hits; the sort is stable, so within a group the declaration
+        order survives."""
+        tasks = [SweepTask(spec=spec, config=self, axis=axis)
+                 for spec, axis in self.specs()]
+        tasks.sort(key=lambda task: task.spec.clean_identity())
+        return tasks
 
 
 @dataclass(frozen=True)
 class SweepTask:
     """One self-contained grid point (picklable for the process pool)."""
 
-    case: str
-    poison_count: int
-    seed: int
+    spec: ScenarioSpec
     config: SweepConfig
+    #: the (dotted path, value) assignment this point got from the axes
+    axis: tuple = ()
+
+    # legacy accessors (the pre-scenario task carried bare fields)
+    @property
+    def case(self) -> str:
+        return self.spec.name
+
+    @property
+    def poison_count(self) -> int:
+        return self.spec.poison_count
+
+    @property
+    def seed(self) -> int:
+        return self.spec.seed
+
+    def key(self) -> str:
+        """Resume identity: the spec digest (axis values are already
+        baked into the spec)."""
+        return self.spec.digest()
 
 
 def run_sweep_task(task: SweepTask) -> dict:
     """Execute one grid point end-to-end; pure in (task,) -> row.
 
-    Module-level (not a method) so the sharded executor can pickle it.
+    Module-level (not a method) so the sharded executor can pickle it;
+    a thin shim over :func:`repro.scenarios.runtime.run_scenario`.
     """
-    # Deferred import: core.attack itself imports the measurement core.
-    from ..core.attack import RTLBreaker
+    from ..scenarios.runtime import run_scenario
 
     cache = generation_cache()
     before = cache.stats()
     store = artifact_store()
     store_before = store.counters_snapshot() if store else {}
-    config = task.config
-    breaker = RTLBreaker.with_default_corpus(
-        seed=task.seed, samples_per_family=config.samples_per_family)
-    spec = breaker.case_study(task.case, poison_count=task.poison_count)
-    result = breaker.run(spec)
-    asr = result.attack_success_rate(n=config.n,
-                                     temperature=config.temperature)
-    misfire = result.unintended_activation_rate(
-        n=config.n, temperature=config.temperature)
-    baseline = result.clean_model_baseline(n=config.n,
-                                           temperature=config.temperature)
-    row = {
-        "case": task.case,
-        "poison_count": task.poison_count,
-        "seed": task.seed,
-        "triggered_prompt": result.triggered_prompt(),
-        "asr": asr.rate,
-        "misfire": misfire.rate,
-        "clean_baseline": baseline.rate,
-        "syntax_rate_triggered": (asr.syntax_valid / asr.total
-                                  if asr.total else 0.0),
-    }
-    if config.eval_problems:
-        from ..vereval.harness import evaluate_model
-        from ..vereval.problems import default_problems
-
-        problems = default_problems()[:config.eval_problems]
-        report = evaluate_model(
-            result.backdoored_model, problems=problems, n=config.n,
-            temperature=config.temperature, seed=task.seed + 6,
-            backend=config.backend)
-        row["pass_at_1"] = report.pass_at_1
-        row["eval_syntax_rate"] = report.syntax_rate
+    outcome = run_scenario(task.spec)
+    row = outcome.row
+    if task.axis:
+        row = dict(row)
+        row["axes"] = {path: value for path, value in task.axis}
     after = cache.stats()
     return {
         "row": row,
@@ -141,25 +185,27 @@ class SweepReport:
     cache_disk_hits: int = 0
     #: summed per-namespace artifact-store counters ({} = store off)
     store_counters: dict = field(default_factory=dict)
+    #: grid points served from the resume stream instead of re-running
+    resumed_rows: int = 0
 
     def aggregates(self) -> dict:
-        """Per-case means over the grid (the sweep's headline numbers)."""
+        """Per-case means over the grid (the sweep's headline numbers).
+
+        A scenario may request a metric subset, so each mean appears
+        only when some row carries the metric."""
         by_case: dict[str, list[dict]] = {}
         for row in self.rows:
             by_case.setdefault(row["case"], []).append(row)
-
-        def mean(rows: list[dict], key: str) -> float:
-            return sum(r[key] for r in rows) / len(rows)
-
-        return {
-            case: {
-                "mean_asr": mean(rows, "asr"),
-                "mean_misfire": mean(rows, "misfire"),
-                "mean_clean_baseline": mean(rows, "clean_baseline"),
-                "runs": len(rows),
-            }
-            for case, rows in by_case.items()
-        }
+        out: dict[str, dict] = {}
+        for case, rows in by_case.items():
+            entry: dict = {}
+            for key in ("asr", "misfire", "clean_baseline"):
+                values = [r[key] for r in rows if key in r]
+                if values:
+                    entry[f"mean_{key}"] = sum(values) / len(values)
+            entry["runs"] = len(rows)
+            out[case] = entry
+        return out
 
     def to_dict(self) -> dict:
         served = self.cache_hits + self.cache_disk_hits
@@ -179,6 +225,7 @@ class SweepReport:
                 "namespaces": self.store_counters,
             },
             "executor": {"kind": self.executor, "shards": self.shards},
+            "resumed_rows": self.resumed_rows,
             "elapsed_s": round(self.elapsed_s, 3),
         }
 
@@ -199,42 +246,89 @@ class ExperimentRunner:
     with a pinned worker count.
 
     ``stream_path`` streams one JSONL line per grid point as tasks
-    finish: ``{"index": task_index, "row": ..., "cache": ...,
-    "store": ...}``.  Lines land in completion order (sharded runs
-    finish out of order); ``index`` positions each row in the grid, and
-    the final report's ``results`` stay in task order either way.
+    finish: ``{"index": task_index, "task": spec_digest, "row": ...,
+    "cache": ..., "store": ...}``.  Lines land in completion order
+    (sharded runs finish out of order); ``index`` positions each row in
+    the grid, and the final report's ``results`` stay in task order
+    either way.
+
+    ``resume=True`` (requires ``stream_path``) re-reads an existing
+    stream and skips every grid point whose line matches the current
+    task list by index *and* spec digest -- malformed lines and rows
+    from a different config read as "not done".  Fresh rows append to
+    the same stream, so repeated killed/resumed runs converge on one
+    complete JSONL file; resumed rows carry their originally recorded
+    cache/store counters into the report sums.
     """
 
     config: SweepConfig = field(default_factory=SweepConfig)
     executor: object | None = None
     shards: int | None = None
     stream_path: str | Path | None = None
+    resume: bool = False
 
     def __post_init__(self):
+        if self.resume and self.stream_path is None:
+            raise ValueError("resume=True requires stream_path")
         if not hasattr(self.executor, "map"):
             self.executor = make_executor(self.executor, shards=self.shards)
+
+    def _preloaded_rows(self, tasks: list[SweepTask]) -> dict[int, dict]:
+        """Rows recovered from an existing resume stream, by task index."""
+        path = Path(self.stream_path)
+        if not path.exists():
+            return {}
+        keys = [task.key() for task in tasks]
+        preloaded: dict[int, dict] = {}
+        for line in path.read_text().splitlines():
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            index = entry.get("index")
+            if not isinstance(index, int) or not 0 <= index < len(tasks):
+                continue
+            if entry.get("task") != keys[index]:
+                continue
+            if not {"row", "cache", "store"} <= set(entry):
+                continue
+            preloaded[index] = {"row": entry["row"],
+                                "cache": entry["cache"],
+                                "store": entry["store"]}
+        return preloaded
 
     def run(self) -> SweepReport:
         tasks = self.config.tasks()
         start = time.perf_counter()
+        preloaded = self._preloaded_rows(tasks) if self.resume else {}
+        pending = [(index, task) for index, task in enumerate(tasks)
+                   if index not in preloaded]
         stream = None
         if self.stream_path is not None:
             path = Path(self.stream_path)
             path.parent.mkdir(parents=True, exist_ok=True)
-            stream = path.open("w")
+            stream = path.open("a" if self.resume else "w")
 
-        def on_result(index: int, payload: dict) -> None:
+        def on_result(position: int, payload: dict) -> None:
+            index, task = pending[position]
             if stream is not None:
-                stream.write(json.dumps({"index": index, **payload})
-                             + "\n")
+                stream.write(json.dumps(
+                    {"index": index, "task": task.key(), **payload})
+                    + "\n")
                 stream.flush()
 
         try:
-            payloads = self.executor.map(run_sweep_task, tasks,
-                                         on_result=on_result)
+            fresh = self.executor.map(run_sweep_task,
+                                      [task for _, task in pending],
+                                      on_result=on_result)
         finally:
             if stream is not None:
                 stream.close()
+        payloads: list[dict] = [None] * len(tasks)
+        for index, payload in preloaded.items():
+            payloads[index] = payload
+        for (index, _), payload in zip(pending, fresh):
+            payloads[index] = payload
         elapsed = time.perf_counter() - start
         store_counters: dict[str, dict[str, int]] = {}
         for payload in payloads:
@@ -253,4 +347,5 @@ class ExperimentRunner:
             cache_disk_hits=sum(p["cache"]["disk_hits"]
                                 for p in payloads),
             store_counters=store_counters,
+            resumed_rows=len(preloaded),
         )

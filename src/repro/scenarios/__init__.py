@@ -1,0 +1,76 @@
+"""Declarative, registry-driven experiment scenarios.
+
+The experiment space is trigger x payload x poison budget x defense
+stack x corpus x fine-tune config.  This package makes every point of
+that space expressible as data:
+
+* :mod:`repro.scenarios.registry` -- component registries
+  (``@register_trigger`` & friends) that the factories in ``core/`` and
+  ``corpus/`` register into;
+* :mod:`repro.scenarios.spec` -- the frozen, JSON-round-trippable,
+  content-digestable :class:`ScenarioSpec` tree, plus dotted-path axes
+  for sweeps;
+* :mod:`repro.scenarios.runtime` -- :func:`run_scenario`, the single
+  execution path under the legacy case-study API, the CLI, and sweeps;
+* :mod:`repro.scenarios.builtin` -- the paper's five case studies as
+  named built-in specs (bit-identical to the legacy path);
+* :mod:`repro.scenarios.metrics` -- the registered report-row metrics.
+"""
+
+from .builtin import BUILTIN_CASES, builtin_scenarios, builtin_spec
+from .registry import (
+    CORPORA,
+    DEFENSES,
+    METRICS,
+    PAYLOADS,
+    TRIGGERS,
+    Registry,
+    load_components,
+    register_corpus,
+    register_defense,
+    register_metric,
+    register_payload,
+    register_trigger,
+)
+from .runtime import (
+    ScenarioResult,
+    apply_defense,
+    attack_spec_from,
+    run_scenario,
+)
+from .spec import (
+    DEFAULT_METRICS,
+    ComponentRef,
+    MeasurementSpec,
+    ScenarioSpec,
+    apply_axis,
+    load_scenario_file,
+)
+
+__all__ = [
+    "BUILTIN_CASES",
+    "CORPORA",
+    "DEFAULT_METRICS",
+    "DEFENSES",
+    "METRICS",
+    "PAYLOADS",
+    "TRIGGERS",
+    "ComponentRef",
+    "MeasurementSpec",
+    "Registry",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "apply_axis",
+    "apply_defense",
+    "attack_spec_from",
+    "builtin_scenarios",
+    "builtin_spec",
+    "load_components",
+    "load_scenario_file",
+    "register_corpus",
+    "register_defense",
+    "register_metric",
+    "register_payload",
+    "register_trigger",
+    "run_scenario",
+]

@@ -1,0 +1,52 @@
+"""The paper's five case studies, re-expressed as named scenario specs.
+
+Every legacy case name (``cs1_prompt`` ... ``cs5_code_structure``)
+resolves to a built-in :class:`ScenarioSpec` whose components come from
+the registries, so the shims in ``RTLBreaker.case_study`` and the sweep
+runner produce **bit-identical** rows to the pre-scenario code path
+(``tests/scenarios/test_differential.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+from .registry import load_components
+from .spec import ComponentRef, MeasurementSpec, ScenarioSpec
+
+#: case name -> (trigger registry name, payload registry name)
+CASE_COMPONENTS = {
+    "cs1_prompt": ("cs1_prompt", "adder_degrade_architecture"),
+    "cs2_comment": ("cs2_comment", "encoder_mispriority"),
+    "cs3_module_name": ("cs3_module_name", "arbiter_force_grant"),
+    "cs4_signal_name": ("cs4_signal_name", "fifo_skip_write"),
+    "cs5_code_structure": ("cs5_code_structure", "memory_constant_output"),
+}
+
+BUILTIN_CASES = tuple(sorted(CASE_COMPONENTS))
+
+
+def builtin_spec(case: str, *, poison_count: int = 5, seed: int = 1,
+                 samples_per_family: int = 95,
+                 measurement: MeasurementSpec | None = None) -> ScenarioSpec:
+    """The named case study as a scenario spec, with the common knobs
+    (poison budget, seed, corpus size, measurement protocol) exposed."""
+    load_components()
+    if case not in CASE_COMPONENTS:
+        raise KeyError(
+            f"unknown case study {case!r}; choose from "
+            f"{sorted(CASE_COMPONENTS)}")
+    trigger_name, payload_name = CASE_COMPONENTS[case]
+    return ScenarioSpec(
+        name=case,
+        trigger=ComponentRef(trigger_name),
+        payload=ComponentRef(payload_name),
+        poison_count=poison_count,
+        seed=seed,
+        corpus=ComponentRef("default",
+                            {"samples_per_family": samples_per_family}),
+        measurement=measurement or MeasurementSpec(),
+    )
+
+
+def builtin_scenarios() -> dict[str, ScenarioSpec]:
+    """All five case studies with paper-default knobs."""
+    return {case: builtin_spec(case) for case in BUILTIN_CASES}

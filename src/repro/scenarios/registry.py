@@ -1,0 +1,119 @@
+"""Component registries behind the declarative scenario API.
+
+A scenario references every experiment ingredient -- trigger, payload,
+defense, corpus recipe, metric -- by *name* plus a parameter dict.  The
+registries map those names to factories; the factories live next to the
+components themselves (``core/triggers.py`` registers its trigger
+builders, ``core/payloads.py`` its payload classes, and so on), so
+adding a component and making it scenario-addressable are the same act:
+
+    @register_payload("memory_constant_output")
+    class MemoryConstantPayload(Payload): ...
+
+    spec = ScenarioSpec(..., payload=ComponentRef(
+        "memory_constant_output", {"constant": 0xBEEF}))
+
+This module is import-light on purpose (stdlib only): component modules
+import it, never the other way round, so registration can't create
+import cycles.  Lookups lazily import the known component modules, so a
+fresh process resolves names without callers having to pre-import
+anything.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Iterator
+
+#: modules whose import populates the registries (lazy, idempotent)
+COMPONENT_MODULES = (
+    "repro.core.triggers",
+    "repro.core.payloads",
+    "repro.core.defenses",
+    "repro.core.advanced_defenses",
+    "repro.corpus.generator",
+    "repro.scenarios.metrics",
+)
+
+_components_loaded = False
+_components_loading = False
+
+
+def load_components() -> None:
+    """Import every component module once, populating the registries.
+
+    The done-flag is only set after every import succeeds, so a failed
+    import surfaces again (with its real traceback) on the next lookup
+    instead of poisoning the registries with "unknown component"
+    errors for the rest of the process.
+    """
+    global _components_loaded, _components_loading
+    if _components_loaded or _components_loading:
+        return
+    _components_loading = True
+    try:
+        for module in COMPONENT_MODULES:
+            importlib.import_module(module)
+        _components_loaded = True
+    finally:
+        _components_loading = False
+
+
+class Registry:
+    """A named collection of component factories."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._factories: dict[str, Callable] = {}
+
+    def register(self, name: str) -> Callable:
+        """Decorator: register ``factory`` under ``name``."""
+        def decorator(factory: Callable) -> Callable:
+            if name in self._factories \
+                    and self._factories[name] is not factory:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered")
+            self._factories[name] = factory
+            return factory
+        return decorator
+
+    def get(self, name: str) -> Callable:
+        if name not in self._factories:
+            load_components()
+        if name not in self._factories:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; known: "
+                f"{sorted(self._factories) or '(none)'}")
+        return self._factories[name]
+
+    def create(self, name: str, **params):
+        """Instantiate the component registered under ``name``."""
+        try:
+            return self.get(name)(**params)
+        except TypeError as exc:
+            raise TypeError(
+                f"bad params for {self.kind} {name!r}: {exc}") from exc
+
+    def names(self) -> list[str]:
+        load_components()
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        load_components()
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+
+TRIGGERS = Registry("trigger")
+PAYLOADS = Registry("payload")
+DEFENSES = Registry("defense")
+CORPORA = Registry("corpus")
+METRICS = Registry("metric")
+
+register_trigger = TRIGGERS.register
+register_payload = PAYLOADS.register
+register_defense = DEFENSES.register
+register_corpus = CORPORA.register
+register_metric = METRICS.register

@@ -1,0 +1,146 @@
+"""Scenario execution: the single entry point every attack path uses.
+
+:func:`run_scenario` resolves a :class:`ScenarioSpec` through the
+component registries and drives the full pipeline -- corpus build,
+poisoning, pre-fine-tune defense stack, clean + backdoored fine-tunes,
+metric measurement -- returning a :class:`ScenarioResult` whose ``row``
+is the sweep-report row.  ``RTLBreaker.case_study``, ``python -m repro
+attack`` and the sweep task function are all thin shims over this
+module, so declarative scenario files and the legacy case-study API are
+guaranteed to share one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import MetricContext
+from .registry import CORPORA, DEFENSES, METRICS, PAYLOADS, TRIGGERS
+from .spec import ComponentRef, ScenarioSpec
+
+
+def resolve_trigger(spec: ScenarioSpec):
+    return TRIGGERS.create(spec.trigger.name, **spec.trigger.params)
+
+
+def resolve_payload(spec: ScenarioSpec):
+    return PAYLOADS.create(spec.payload.name, **spec.payload.params)
+
+
+def resolve_corpus_config(spec: ScenarioSpec):
+    """The corpus recipe with the scenario seed as the default seed."""
+    params = dict(spec.corpus.params)
+    params.setdefault("seed", spec.seed)
+    return CORPORA.create(spec.corpus.name, **params)
+
+
+def attack_spec_from(spec: ScenarioSpec):
+    """The resolved :class:`repro.core.poisoning.AttackSpec`."""
+    from ..core.poisoning import AttackSpec
+
+    return AttackSpec(trigger=resolve_trigger(spec),
+                      payload=resolve_payload(spec),
+                      poison_count=spec.poison_count,
+                      seed=spec.seed,
+                      paraphrase=spec.paraphrase)
+
+
+def apply_defense(defense, dataset):
+    """Run one defense over a training set.
+
+    Defenses come in two shapes: dataset filters with
+    ``apply(dataset) -> Dataset`` (e.g. ``CommentFilterDefense``) and
+    sanitizers with ``sanitize(dataset) -> SanitizationReport`` (e.g.
+    ``DatasetSanitizer``).  Returns ``(kept_dataset, stats_dict)``.
+    """
+    if hasattr(defense, "sanitize"):
+        report = defense.sanitize(dataset)
+        return report.kept, {
+            "removed_poisoned": report.removed_poisoned,
+            "removed_clean": report.removed_clean,
+        }
+    kept = defense.apply(dataset)
+    return kept, {"removed": len(dataset) - len(kept),
+                  "removed_poisoned": None, "removed_clean": None}
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    spec: ScenarioSpec
+    #: the resolved low-level attack outcome (models, datasets, spec)
+    attack: object
+    #: the sweep-report row (JSON-serialisable, deterministic)
+    row: dict
+    #: per-defense application stats, in stack order
+    defense_stats: list[dict] = field(default_factory=list)
+
+
+def run_scenario(spec: ScenarioSpec, clean_model=None) -> ScenarioResult:
+    """Execute ``spec`` end-to-end and measure its metric set.
+
+    With an empty defense stack and default components this reproduces
+    the legacy ``RTLBreaker`` flow bit-for-bit (enforced by
+    ``tests/scenarios/test_differential.py``).  ``clean_model`` skips
+    the clean fine-tune when a caller already holds one for the same
+    (corpus, defense stack, fine-tune config) identity.
+    """
+    from ..core.attack import AttackResult
+    from ..corpus.generator import build_corpus
+    from ..core.poisoning import poison_dataset
+    from ..llm.finetune import FinetuneConfig
+    from ..llm.model import HDLCoder
+
+    corpus = build_corpus(resolve_corpus_config(spec))
+    attack_spec = attack_spec_from(spec)
+    poisoned = poison_dataset(corpus, attack_spec)
+
+    # The defender sanitizes their training set without knowing whether
+    # it is poisoned, so the stack applies uniformly to both fine-tunes.
+    defense_stats: list[dict] = []
+    clean_train, poisoned_train = corpus, poisoned
+    for ref in spec.defenses:
+        defense = DEFENSES.create(ref.name, **ref.params)
+        clean_train, _ = apply_defense(defense, clean_train)
+        poisoned_train, stats = apply_defense(defense, poisoned_train)
+        defense_stats.append({"defense": ref.name, **stats})
+
+    finetune = FinetuneConfig(**spec.finetune)
+    if clean_model is None:
+        clean_model = HDLCoder.fit_memoized(finetune, clean_train)
+    backdoored = HDLCoder.fit_memoized(finetune, poisoned_train)
+    result = AttackResult(
+        spec=attack_spec,
+        clean_dataset=clean_train,
+        poisoned_dataset=poisoned_train,
+        clean_model=clean_model,
+        backdoored_model=backdoored,
+        seed=spec.seed,
+    )
+
+    row = {
+        "case": spec.name,
+        "poison_count": spec.poison_count,
+        "seed": spec.seed,
+    }
+    if spec.defenses:
+        row["defenses"] = [ref.name for ref in spec.defenses]
+    row["triggered_prompt"] = result.triggered_prompt()
+    ctx = MetricContext(result, spec.measurement, scenario_seed=spec.seed)
+    for metric_name in spec.metrics:
+        row.update(METRICS.create(metric_name)(ctx))
+    return ScenarioResult(spec=spec, attack=result, row=row,
+                          defense_stats=defense_stats)
+
+
+__all__ = [
+    "ComponentRef",
+    "ScenarioResult",
+    "apply_defense",
+    "attack_spec_from",
+    "resolve_corpus_config",
+    "resolve_payload",
+    "resolve_trigger",
+    "run_scenario",
+]

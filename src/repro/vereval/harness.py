@@ -79,11 +79,13 @@ class EvalReport:
         ]
 
 
-def _evaluate_problem_task(task: tuple) -> ProblemResult:
+def _evaluate_problem_task(model: HDLCoder, task: tuple) -> ProblemResult:
     """One problem end-to-end; module-level so shard workers can
-    pickle it.  Pure in (task,) -> result: sharded and serial
-    evaluations produce identical rows."""
-    model, problem, n, temperature, seed, backend = task
+    pickle it.  Pure in (model, task) -> result: sharded and serial
+    evaluations produce identical rows.  The model arrives as the
+    executor's *broadcast* object -- shipped to each worker once via
+    the pool initializer, not pickled into every problem task."""
+    problem, n, temperature, seed, backend = task
     offset = problem_seed_offset(problem.problem_id)
     measured = measure(model, MeasurementRequest(
         prompt=problem.prompt, n=n, temperature=temperature,
@@ -117,9 +119,11 @@ def evaluate_model(model: HDLCoder,
     ``executor`` shards the evaluation across *problems* through the
     pipeline executors: ``"serial"``/``"sharded"``, a pre-built
     executor object, or None to resolve ``REPRO_EXECUTOR``.  Each
-    problem is a self-contained task (the model ships to workers by
-    pickle), and per-problem rows merge deterministically in problem
-    order, so sharded reports are bit-identical to serial ones.  The
+    problem is a self-contained task; the fitted model ships to each
+    worker **once** as the executor's broadcast object (pool
+    initializer), not pickled per task.  Per-problem rows merge
+    deterministically in problem order, so sharded reports are
+    bit-identical to serial ones.  The
     default is explicitly serial -- not env-resolved -- because sweep
     grid points call this inside sharded workers, where a nested pool
     per task would oversubscribe the machine.  With ``REPRO_STORE_DIR``
@@ -134,7 +138,7 @@ def evaluate_model(model: HDLCoder,
     problems = problems if problems is not None else default_problems()
     if not hasattr(executor, "map"):
         executor = make_executor(executor, shards=shards)
-    tasks = [(model, problem, n, temperature, seed, backend)
+    tasks = [(problem, n, temperature, seed, backend)
              for problem in problems]
-    results = executor.map(_evaluate_problem_task, tasks)
+    results = executor.map(_evaluate_problem_task, tasks, broadcast=model)
     return EvalReport(results=results, n=n, temperature=temperature)

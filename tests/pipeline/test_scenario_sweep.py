@@ -1,0 +1,221 @@
+"""Scenario-mode sweeps: axes grids, store-aware ordering, resume,
+and executor broadcast."""
+
+import json
+
+import pytest
+
+from repro.pipeline import (
+    ExperimentRunner,
+    SerialExecutor,
+    ShardedExecutor,
+    SweepConfig,
+)
+from repro.scenarios import ComponentRef, MeasurementSpec, ScenarioSpec
+
+BASE = ScenarioSpec(
+    name="arith_prompt_fifo_skipwrite",
+    trigger=ComponentRef("prompt_keyword",
+                         {"words": ["arithmetic"], "family": "fifo",
+                          "noun": "FIFO"}),
+    payload=ComponentRef("fifo_skip_write"),
+    poison_count=4,
+    seed=3,
+    corpus=ComponentRef("default", {"samples_per_family": 12}),
+    measurement=MeasurementSpec(n=3),
+)
+
+DEFENSE_SWEEP = SweepConfig(
+    scenario=BASE,
+    axes={"defenses": [[], ["dataset_sanitizer"]]},
+)
+
+
+class TestAxesGrid:
+    def test_axes_cartesian_product(self):
+        config = SweepConfig(scenario=BASE,
+                             axes={"poison_count": [1, 2],
+                                   "seed": [3, 4]})
+        tasks = config.tasks()
+        assert len(tasks) == 4
+        assert {(t.poison_count, t.seed) for t in tasks} \
+            == {(1, 3), (1, 4), (2, 3), (2, 4)}
+        for task in tasks:
+            assert task.spec.name == BASE.name
+            assert dict(task.axis)["poison_count"] == task.poison_count
+
+    def test_no_axes_is_a_single_point(self):
+        (task,) = SweepConfig(scenario=BASE).tasks()
+        assert task.spec == BASE
+        assert task.axis == ()
+
+    def test_nested_axis_reaches_component_params(self):
+        config = SweepConfig(
+            scenario=BASE,
+            axes={"payload.params.trigger_data": [1, 2]})
+        values = sorted(t.spec.payload.params["trigger_data"]
+                        for t in config.tasks())
+        assert values == [1, 2]
+
+    def test_defense_axis_rows_serial_equals_sharded(self):
+        """Acceptance: a cross-paired scenario with a defense axis runs
+        serial and sharded with byte-identical rows."""
+        serial = ExperimentRunner(DEFENSE_SWEEP,
+                                  executor=SerialExecutor()).run()
+        sharded = ExperimentRunner(
+            DEFENSE_SWEEP, executor=ShardedExecutor(shards=2)).run()
+        assert json.dumps(serial.rows) == json.dumps(sharded.rows)
+        by_axis = {json.dumps(row["axes"]["defenses"]): row
+                   for row in serial.rows}
+        assert by_axis['[]']["asr"] == 1.0
+        assert by_axis['["dataset_sanitizer"]']["asr"] == 0.0
+
+    def test_scenario_report_serialisable(self):
+        report = ExperimentRunner(DEFENSE_SWEEP,
+                                  executor=SerialExecutor()).run()
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["config"]["scenario"]["name"] == BASE.name
+        assert payload["config"]["axes"] == DEFENSE_SWEEP.axes
+        assert payload["resumed_rows"] == 0
+
+    def test_metric_subset_sweep_reports_cleanly(self):
+        """A scenario requesting a metric subset must survive report
+        aggregation, not crash after all the compute is spent."""
+        config = SweepConfig(scenario=BASE.evolve(metrics=("asr",)))
+        report = ExperimentRunner(config,
+                                  executor=SerialExecutor()).run()
+        payload = json.loads(json.dumps(report.to_dict()))
+        (aggregate,) = payload["aggregates"].values()
+        assert aggregate == {"mean_asr": 1.0, "runs": 1}
+        (row,) = payload["results"]
+        assert "misfire" not in row
+
+
+class TestStoreAwareOrdering:
+    def test_points_sharing_clean_identity_are_adjacent(self):
+        config = SweepConfig(
+            cases=("cs1_prompt", "cs5_code_structure"),
+            poison_counts=(1, 2), seeds=(1, 2),
+            samples_per_family=12, n=2)
+        tasks = config.tasks()
+        identities = [t.spec.clean_identity() for t in tasks]
+        boundaries = 1 + sum(1 for a, b in zip(identities, identities[1:])
+                             if a != b)
+        assert boundaries == len(set(identities))  # each group contiguous
+        # the grouping key is the corpus seed here: cases and poison
+        # budgets share a clean model, seeds do not
+        assert len(set(identities)) == 2
+        assert sorted(t.seed for t in tasks[:4]) \
+            in ([1, 1, 1, 1], [2, 2, 2, 2])
+
+    def test_ordering_is_stable_within_groups(self):
+        config = SweepConfig(cases=("cs1_prompt", "cs5_code_structure"),
+                             poison_counts=(1, 2), seeds=(1,),
+                             samples_per_family=12, n=2)
+        tasks = config.tasks()
+        # one clean-identity group: declaration order must survive
+        assert [(t.case, t.poison_count) for t in tasks] == [
+            ("cs1_prompt", 1), ("cs1_prompt", 2),
+            ("cs5_code_structure", 1), ("cs5_code_structure", 2)]
+
+    def test_ordering_is_deterministic_across_calls(self):
+        config = SweepConfig(cases=("cs1_prompt", "cs3_module_name"),
+                             seeds=(1, 2, 3), samples_per_family=12)
+        first = [t.key() for t in config.tasks()]
+        assert first == [t.key() for t in config.tasks()]
+
+
+class TestResume:
+    TINY = SweepConfig(scenario=BASE,
+                       axes={"poison_count": [1, 2]})
+
+    def test_resume_requires_stream(self):
+        with pytest.raises(ValueError, match="requires stream_path"):
+            ExperimentRunner(self.TINY, executor=SerialExecutor(),
+                             resume=True)
+
+    def test_resume_skips_completed_rows(self, tmp_path):
+        stream = tmp_path / "rows.jsonl"
+        full = ExperimentRunner(self.TINY, executor=SerialExecutor(),
+                                stream_path=stream).run()
+        lines = stream.read_text().splitlines()
+        assert len(lines) == 2
+        stream.write_text(lines[0] + "\n")  # simulate a killed sweep
+        resumed = ExperimentRunner(self.TINY, executor=SerialExecutor(),
+                                   stream_path=stream,
+                                   resume=True).run()
+        assert resumed.resumed_rows == 1
+        assert json.dumps(resumed.rows) == json.dumps(full.rows)
+        # the stream converged on one complete file
+        indices = sorted(json.loads(line)["index"]
+                         for line in stream.read_text().splitlines())
+        assert indices == [0, 1]
+
+    def test_resume_with_complete_stream_runs_nothing(self, tmp_path):
+        stream = tmp_path / "rows.jsonl"
+        full = ExperimentRunner(self.TINY, executor=SerialExecutor(),
+                                stream_path=stream).run()
+
+        class ExplodingExecutor:
+            name = "exploding"
+            shards = 1
+
+            def map(self, fn, tasks, on_result=None):
+                assert not list(tasks), "resume should have no work"
+                return []
+
+        resumed = ExperimentRunner(self.TINY,
+                                   executor=ExplodingExecutor(),
+                                   stream_path=stream,
+                                   resume=True).run()
+        assert resumed.resumed_rows == 2
+        assert json.dumps(resumed.rows) == json.dumps(full.rows)
+
+    def test_config_change_invalidates_stream_rows(self, tmp_path):
+        stream = tmp_path / "rows.jsonl"
+        ExperimentRunner(self.TINY, executor=SerialExecutor(),
+                         stream_path=stream).run()
+        changed = SweepConfig(scenario=BASE.evolve(seed=4),
+                              axes={"poison_count": [1, 2]})
+        resumed = ExperimentRunner(changed, executor=SerialExecutor(),
+                                   stream_path=stream,
+                                   resume=True).run()
+        assert resumed.resumed_rows == 0
+        for row in resumed.rows:
+            assert row["seed"] == 4
+
+    def test_malformed_stream_lines_read_as_not_done(self, tmp_path):
+        stream = tmp_path / "rows.jsonl"
+        stream.write_text('{"index": 0, "task": "bogus"}\n'
+                          "not json at all\n"
+                          '{"index": 99, "task": "x", "row": {}, '
+                          '"cache": {}, "store": {}}\n')
+        resumed = ExperimentRunner(self.TINY, executor=SerialExecutor(),
+                                   stream_path=stream,
+                                   resume=True).run()
+        assert resumed.resumed_rows == 0
+        assert len(resumed.rows) == 2
+
+
+def _double_with_offset(offset, value):
+    """Module-level broadcast task fn (picklable for the pool)."""
+    return offset + 2 * value
+
+
+class TestBroadcast:
+    def test_serial_broadcast(self):
+        out = SerialExecutor().map(_double_with_offset, [1, 2, 3],
+                                   broadcast=100)
+        assert out == [102, 104, 106]
+
+    def test_sharded_broadcast_matches_serial(self):
+        serial = SerialExecutor().map(_double_with_offset, [1, 2, 3],
+                                      broadcast=100)
+        sharded = ShardedExecutor(shards=2).map(
+            _double_with_offset, [1, 2, 3], broadcast=100)
+        assert sharded == serial
+
+    def test_broadcasting_none_still_injects(self):
+        out = SerialExecutor().map(
+            lambda model, task: (model, task), ["t"], broadcast=None)
+        assert out == [(None, "t")]

@@ -1,0 +1,85 @@
+"""Component-registry behaviour: lookup, params, error paths."""
+
+import pytest
+
+from repro.core.payloads import FifoSkipWritePayload, MemoryConstantPayload
+from repro.core.triggers import Trigger, TriggerKind
+from repro.corpus.generator import CorpusConfig
+from repro.scenarios import (
+    CORPORA,
+    DEFENSES,
+    METRICS,
+    PAYLOADS,
+    TRIGGERS,
+    Registry,
+)
+
+
+class TestLookup:
+    def test_case_study_triggers_registered(self):
+        for case in ("cs1_prompt", "cs2_comment", "cs3_module_name",
+                     "cs4_signal_name", "cs5_code_structure"):
+            assert case in TRIGGERS
+        trigger = TRIGGERS.create("cs5_code_structure")
+        assert isinstance(trigger, Trigger)
+        assert trigger.kind is TriggerKind.CODE_STRUCTURE
+
+    def test_generic_trigger_kinds_compose(self):
+        """Any trigger kind pairs with any family -- the cross-pairing
+        the hardwired case-study dicts could not express."""
+        trigger = TRIGGERS.create("prompt_keyword",
+                                  words=["arithmetic"], family="fifo",
+                                  noun="FIFO")
+        assert trigger.kind is TriggerKind.PROMPT_KEYWORD
+        assert trigger.family == "fifo"
+
+    def test_payloads_registered_with_params(self):
+        payload = PAYLOADS.create("memory_constant_output",
+                                  constant=0xBEEF)
+        assert isinstance(payload, MemoryConstantPayload)
+        assert payload.constant == 0xBEEF
+        assert isinstance(PAYLOADS.create("fifo_skip_write"),
+                          FifoSkipWritePayload)
+
+    def test_defenses_registered(self):
+        for name in ("comment_filter", "dataset_sanitizer",
+                     "perplexity_filter"):
+            assert name in DEFENSES
+
+    def test_corpus_recipes_build_configs(self):
+        config = CORPORA.create("default", seed=3, samples_per_family=7)
+        assert config == CorpusConfig(seed=3, samples_per_family=7)
+        family = CORPORA.create("family", family="fifo", seed=1,
+                                samples_per_family=4)
+        assert family.families == ["fifo"]
+
+    def test_metrics_registered(self):
+        assert {"asr", "misfire", "clean_baseline",
+                "syntax_rate_triggered", "pass_at_1"} \
+            <= set(METRICS.names())
+
+
+class TestErrors:
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="unknown payload 'nope'"):
+            PAYLOADS.create("nope")
+
+    def test_bad_params_name_the_component(self):
+        with pytest.raises(TypeError, match="memory_constant_output"):
+            PAYLOADS.create("memory_constant_output", bogus=1)
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("widget")
+        registry.register("w")(lambda: 1)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("w")(lambda: 2)
+
+    def test_re_registering_same_factory_is_idempotent(self):
+        registry = Registry("widget")
+
+        def factory():
+            return 1
+
+        registry.register("w")(factory)
+        registry.register("w")(factory)
+        assert registry.get("w") is factory

@@ -1,0 +1,109 @@
+"""run_scenario semantics: cross-pairings, defense stacks, metrics."""
+
+import pytest
+
+from repro.core.defenses import CommentFilterDefense, DatasetSanitizer
+from repro.corpus.generator import CorpusConfig, build_corpus
+from repro.scenarios import (
+    ComponentRef,
+    MeasurementSpec,
+    ScenarioSpec,
+    apply_defense,
+    attack_spec_from,
+    run_scenario,
+)
+
+#: a pairing outside the paper's five case studies: the CS-I trigger
+#: word on the CS-IV family/payload
+CROSS_PAIR = ScenarioSpec(
+    name="arith_prompt_fifo_skipwrite",
+    trigger=ComponentRef("prompt_keyword",
+                         {"words": ["arithmetic"], "family": "fifo",
+                          "noun": "FIFO"}),
+    payload=ComponentRef("fifo_skip_write"),
+    poison_count=4,
+    seed=3,
+    corpus=ComponentRef("default", {"samples_per_family": 12}),
+    measurement=MeasurementSpec(n=3),
+)
+
+
+class TestCrossPairing:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_scenario(CROSS_PAIR)
+
+    def test_attack_lands(self, outcome):
+        """The composition works end-to-end and the backdoor trains."""
+        assert outcome.row["asr"] == 1.0
+        assert outcome.row["clean_baseline"] == 0.0
+
+    def test_row_identity_fields(self, outcome):
+        assert outcome.row["case"] == "arith_prompt_fifo_skipwrite"
+        assert outcome.row["poison_count"] == 4
+        assert "defenses" not in outcome.row
+
+    def test_trigger_payload_resolved(self, outcome):
+        attack_spec = outcome.attack.spec
+        assert attack_spec.trigger.family == "fifo"
+        assert attack_spec.payload.name == "fifo_skip_write"
+        assert "arithmetic" in outcome.row["triggered_prompt"]
+
+
+class TestDefenseStack:
+    def test_sanitizer_neutralizes_structural_payload(self):
+        defended = CROSS_PAIR.evolve(
+            defenses=(ComponentRef("dataset_sanitizer"),))
+        outcome = run_scenario(defended)
+        assert outcome.row["asr"] == 0.0
+        assert outcome.row["defenses"] == ["dataset_sanitizer"]
+        (stats,) = outcome.defense_stats
+        assert stats["defense"] == "dataset_sanitizer"
+        assert stats["removed_poisoned"] == CROSS_PAIR.poison_count
+
+    def test_defense_changes_digest_and_row_only_when_present(self):
+        defended = CROSS_PAIR.evolve(
+            defenses=(ComponentRef("comment_filter"),))
+        assert defended.digest() != CROSS_PAIR.digest()
+
+    def test_apply_defense_duck_typing(self):
+        corpus = build_corpus(CorpusConfig(seed=1, samples_per_family=4))
+        kept, stats = apply_defense(CommentFilterDefense(), corpus)
+        assert len(kept) == len(corpus)
+        assert stats["removed"] == 0
+        kept, stats = apply_defense(DatasetSanitizer(), corpus)
+        assert set(stats) >= {"removed_poisoned", "removed_clean"}
+
+
+class TestMetricSelection:
+    def test_metric_subset_controls_row_fields(self):
+        spec = CROSS_PAIR.evolve(metrics=("asr",))
+        row = run_scenario(spec).row
+        assert list(row) == ["case", "poison_count", "seed",
+                             "triggered_prompt", "asr"]
+
+    def test_unknown_metric_raises(self):
+        spec = CROSS_PAIR.evolve(metrics=("nope",))
+        with pytest.raises(KeyError, match="unknown metric"):
+            run_scenario(spec)
+
+
+class TestResolutionErrors:
+    def test_unknown_trigger_raises(self):
+        spec = CROSS_PAIR.evolve(trigger=ComponentRef("nope"))
+        with pytest.raises(KeyError, match="unknown trigger"):
+            attack_spec_from(spec)
+
+    def test_bad_component_params_raise(self):
+        spec = CROSS_PAIR.evolve(
+            payload=ComponentRef("fifo_skip_write", {"bogus": 1}))
+        with pytest.raises(TypeError, match="fifo_skip_write"):
+            attack_spec_from(spec)
+
+    def test_corpus_seed_defaults_to_scenario_seed(self):
+        from repro.scenarios.runtime import resolve_corpus_config
+
+        assert resolve_corpus_config(CROSS_PAIR).seed == CROSS_PAIR.seed
+        pinned = CROSS_PAIR.evolve(
+            corpus=ComponentRef("default", {"seed": 99}))
+        assert resolve_corpus_config(pinned).seed == 99

@@ -1,0 +1,207 @@
+"""ScenarioSpec serialization, digests, axes and scenario files."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.scenarios import (
+    ComponentRef,
+    DEFAULT_METRICS,
+    MeasurementSpec,
+    ScenarioSpec,
+    apply_axis,
+    builtin_spec,
+    load_scenario_file,
+)
+
+SPEC = builtin_spec("cs4_signal_name", poison_count=3, seed=7,
+                    samples_per_family=10,
+                    measurement=MeasurementSpec(n=4, eval_problems=2))
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_exact(self):
+        assert ScenarioSpec.from_json(SPEC.to_json()) == SPEC
+
+    def test_dict_round_trip_is_exact(self):
+        assert ScenarioSpec.from_dict(SPEC.to_dict()) == SPEC
+
+    def test_round_trip_with_defenses_and_params(self):
+        spec = SPEC.evolve(
+            defenses=(ComponentRef("dataset_sanitizer"),
+                      ComponentRef("perplexity_filter",
+                                   {"tail_fraction": 0.1})),
+            payload=ComponentRef("fifo_skip_write", {"trigger_data": 7}),
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_shorthand_refs_accepted(self):
+        spec = ScenarioSpec.from_dict({
+            "name": "s", "trigger": "cs1_prompt",
+            "payload": {"name": "adder_degrade_architecture"},
+            "defenses": ["comment_filter"],
+        })
+        assert spec.trigger == ComponentRef("cs1_prompt")
+        assert spec.defenses == (ComponentRef("comment_filter"),)
+        assert spec.metrics == DEFAULT_METRICS
+
+    def test_empty_metrics_round_trip_exactly(self):
+        """An explicit empty metric set is a valid choice and must not
+        be silently replaced by the defaults (digest stability)."""
+        spec = SPEC.evolve(metrics=())
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again.metrics == ()
+        assert again == spec
+        assert again.digest() == spec.digest()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario fields"):
+            ScenarioSpec.from_dict({"name": "s", "trigger": "t",
+                                    "payload": "p", "bogus": 1})
+
+    def test_missing_payload_rejected(self):
+        with pytest.raises(ValueError, match="payload"):
+            ScenarioSpec.from_dict({"name": "s", "trigger": "t"})
+
+    def test_bad_ref_shape_rejected(self):
+        with pytest.raises(ValueError, match="component ref"):
+            ComponentRef.from_value({"nome": "typo"})
+
+
+class TestDigest:
+    def test_equal_specs_share_digest(self):
+        assert SPEC.digest() \
+            == ScenarioSpec.from_json(SPEC.to_json()).digest()
+
+    def test_any_field_separates_digests(self):
+        variants = [
+            SPEC.evolve(poison_count=4),
+            SPEC.evolve(seed=8),
+            SPEC.evolve(defenses=(ComponentRef("comment_filter"),)),
+            SPEC.evolve(payload=ComponentRef("fifo_skip_write",
+                                             {"trigger_data": 1})),
+            SPEC.evolve(finetune={"epochs": 5}),
+            SPEC.evolve(measurement=MeasurementSpec(n=5)),
+        ]
+        digests = {SPEC.digest()} | {v.digest() for v in variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_digest_stable_across_processes(self):
+        """The digest keys artifact-store entries and sweep resume; it
+        must not depend on per-process hash randomization."""
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        code = ("from repro.scenarios import builtin_spec, "
+                "MeasurementSpec; "
+                "print(builtin_spec('cs4_signal_name', poison_count=3, "
+                "seed=7, samples_per_family=10, "
+                "measurement=MeasurementSpec(n=4, eval_problems=2))"
+                ".digest())")
+        digests = set()
+        for hashseed in ("1", "2"):
+            env = dict(os.environ,
+                       PYTHONPATH=src_root,
+                       PYTHONHASHSEED=hashseed)
+            out = subprocess.run([sys.executable, "-c", code], env=env,
+                                 capture_output=True, text=True,
+                                 check=True)
+            digests.add(out.stdout.strip())
+        digests.add(SPEC.digest())
+        assert len(digests) == 1, digests
+
+    def test_clean_identity_ignores_attack_side(self):
+        """Grid points differing only in trigger/payload/poison budget
+        share the clean-model identity (store-aware ordering key)."""
+        other = builtin_spec("cs5_code_structure", poison_count=9,
+                             seed=7, samples_per_family=10,
+                             measurement=MeasurementSpec(n=4,
+                                                         eval_problems=2))
+        assert SPEC.clean_identity() == other.clean_identity()
+        assert SPEC.evolve(seed=8).clean_identity() \
+            != SPEC.clean_identity()
+        assert SPEC.evolve(
+            defenses=(ComponentRef("comment_filter"),)).clean_identity() \
+            != SPEC.clean_identity()
+
+
+class TestAxes:
+    def test_top_level_axis(self):
+        assert apply_axis(SPEC, "poison_count", 11).poison_count == 11
+
+    def test_nested_component_param_axis(self):
+        spec = apply_axis(SPEC, "payload.params.trigger_data", 0x55)
+        assert spec.payload.params == {"trigger_data": 0x55}
+
+    def test_measurement_axis(self):
+        assert apply_axis(SPEC, "measurement.n", 2).measurement.n == 2
+
+    def test_finetune_axis_creates_key(self):
+        assert apply_axis(SPEC, "finetune.epochs", 5).finetune \
+            == {"epochs": 5}
+
+    def test_defenses_axis_takes_ref_lists(self):
+        spec = apply_axis(SPEC, "defenses",
+                          ["dataset_sanitizer",
+                           {"name": "perplexity_filter",
+                            "params": {"tail_fraction": 0.2}}])
+        assert spec.defenses == (
+            ComponentRef("dataset_sanitizer"),
+            ComponentRef("perplexity_filter", {"tail_fraction": 0.2}))
+
+    def test_axis_does_not_mutate_base(self):
+        apply_axis(SPEC, "poison_count", 99)
+        assert SPEC.poison_count == 3
+
+    @pytest.mark.parametrize("path", [
+        "nope", "payload.nope.deeper", "poison_count.sub", "trigger.kind",
+    ])
+    def test_bad_paths_rejected(self, path):
+        with pytest.raises(ValueError, match="axis path"):
+            apply_axis(SPEC, path, 1)
+
+
+class TestScenarioFile:
+    def test_bare_spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(SPEC.to_json())
+        spec, axes = load_scenario_file(path)
+        assert spec == SPEC
+        assert axes == {}
+
+    def test_wrapper_with_axes(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "scenario": SPEC.to_dict(),
+            "axes": {"poison_count": [1, 2]},
+        }))
+        spec, axes = load_scenario_file(path)
+        assert spec == SPEC
+        assert axes == {"poison_count": [1, 2]}
+
+    def test_unknown_wrapper_key_rejected(self, tmp_path):
+        """A typo'd 'axes' key must fail loudly, not silently collapse
+        the grid to a single point."""
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"scenario": SPEC.to_dict(),
+                                    "axis": {"seed": [1, 2]}}))
+        with pytest.raises(ValueError, match="unknown scenario-file"):
+            load_scenario_file(path)
+
+    def test_empty_axis_rejected(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"scenario": SPEC.to_dict(),
+                                    "axes": {"seed": []}}))
+        with pytest.raises(ValueError, match="non-empty list"):
+            load_scenario_file(path)
+
+    def test_repo_example_loads(self):
+        example = Path(repro.__file__).resolve().parents[2] \
+            / "examples" / "cross_pair_defense.json"
+        spec, axes = load_scenario_file(example)
+        assert spec.trigger.name == "prompt_keyword"
+        assert spec.payload.name == "fifo_skip_write"
+        assert "defenses" in axes
