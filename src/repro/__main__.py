@@ -9,13 +9,17 @@ Commands:
 * ``sweep``   -- config-driven grid of attacks (built-in cases x poison
   counts x seeds, or a ``--scenario`` file gridded over its axes) on
   the serial or sharded executor, with a JSON report, an optional
-  JSONL row stream, and ``--resume`` over a partial stream
+  JSONL row stream, and ``--resume`` over a partial stream; raising
+  grid points land as error rows instead of aborting the run, and with
+  ``REPRO_STORE_DIR`` set, unchanged grid points are served from the
+  ``scenario-rows`` store namespace instead of recomputed
 * ``scenarios`` -- list the registered components and built-in specs
 * ``fuzz``    -- hunt for backdoor triggers by rare-word fuzzing
 * ``export``  -- write the open-data release (clean + poisoned corpora)
 * ``check``   -- syntax-check a Verilog file with the built-in frontend
 * ``store``   -- inspect / garbage-collect / clear the on-disk artifact
-  store (``REPRO_STORE_DIR``)
+  store (``REPRO_STORE_DIR``); ``stats`` lists every namespace,
+  including the memoized ``scenario-rows``
 """
 
 from __future__ import annotations
@@ -66,6 +70,7 @@ def cmd_attack(args) -> int:
     """One scenario end-to-end -- a thin shim over ``run_scenario``."""
     from .scenarios import (MeasurementSpec, builtin_spec,
                             load_scenario_file, run_scenario)
+    from .scenarios.runtime import attack_spec_from
 
     if args.scenario:
         spec, axes = load_scenario_file(args.scenario)
@@ -86,8 +91,13 @@ def cmd_attack(args) -> int:
             args.case, poison_count=args.poison_count, seed=args.seed,
             samples_per_family=args.spf,
             measurement=MeasurementSpec(n=args.n))
-    outcome = run_scenario(spec)
-    print(f"attack: {outcome.attack.spec.describe()}")
+    # --show-output needs the resolved models, which a scenario-rows
+    # memo hit does not carry -- force recomputation in that case.
+    outcome = run_scenario(spec, memo=not args.show_output)
+    if outcome.from_store:
+        print("note: row served from the scenario-rows store namespace "
+              "(REPRO_STORE_DIR)")
+    print(f"attack: {attack_spec_from(spec).describe()}")
     rows = [["triggered prompt", outcome.row["triggered_prompt"]]]
     for stats in outcome.defense_stats:
         removed = stats.get("removed_poisoned")
@@ -177,16 +187,41 @@ def cmd_sweep(args) -> int:
     if args.scenario:
         from .scenarios import load_scenario_file
 
+        # The sweep flags default to None so "explicitly passed" is
+        # detectable even for a flag set to its documented default.
+        # Grid-shaping flags contradict a scenario file (its axes are
+        # the grid): hard error rather than a silently ignored flag.
+        conflicting = [flag for flag, value in (
+            ("--case", args.cases),
+            ("--poison-counts", args.poison_counts),
+            ("--seeds", args.seeds),
+        ) if value is not None]
+        if conflicting:
+            print(f"error: {', '.join(conflicting)} conflicts with "
+                  "--scenario -- the scenario file defines its own "
+                  "grid (add an 'axes' entry to the file instead)")
+            return 2
+        # Measurement-protocol flags are merely ignored, same notice
+        # the attack command prints.
+        overridden = [flag for flag, value in (
+            ("-n", args.n),
+            ("--eval-problems", args.eval_problems),
+            ("--samples-per-family", args.spf),
+        ) if value is not None]
+        if overridden:
+            print(f"note: ignoring {', '.join(overridden)} -- the "
+                  "scenario file defines its own protocol")
         spec, axes = load_scenario_file(args.scenario)
         config = SweepConfig(scenario=spec, axes=axes)
     else:
         config = SweepConfig(
             cases=tuple(args.cases or ["cs5_code_structure"]),
-            poison_counts=tuple(args.poison_counts),
-            seeds=tuple(args.seeds),
-            samples_per_family=args.spf,
-            n=args.n,
-            eval_problems=args.eval_problems,
+            poison_counts=tuple(args.poison_counts or [5]),
+            seeds=tuple(args.seeds or [1]),
+            samples_per_family=(95 if args.spf is None else args.spf),
+            n=(10 if args.n is None else args.n),
+            eval_problems=(0 if args.eval_problems is None
+                           else args.eval_problems),
         )
     try:
         runner = ExperimentRunner(config, executor=args.executor,
@@ -210,8 +245,8 @@ def cmd_sweep(args) -> int:
     rows = []
     for row in report.rows:
         cells = [row["case"], row["poison_count"], row["seed"],
-                 fmt(row, "asr"), fmt(row, "misfire"),
-                 fmt(row, "clean_baseline")]
+                 "ERROR" if "error" in row else fmt(row, "asr"),
+                 fmt(row, "misfire"), fmt(row, "clean_baseline")]
         if show_pass:
             cells.append(fmt(row, "pass_at_1", 3))
         if show_axes:
@@ -225,6 +260,15 @@ def cmd_sweep(args) -> int:
     if report.resumed_rows:
         print(f"resumed: {report.resumed_rows} row(s) loaded from "
               f"{args.stream}")
+    if report.failed_rows:
+        print(f"failed: {report.failed_rows} grid point(s) raised -- "
+              "error rows carry the tracebacks; a --resume re-run "
+              "retries them")
+        for row in report.rows:
+            if "error" in row:
+                print(f"  {row['case']} poison={row['poison_count']} "
+                      f"seed={row['seed']}: {row['error']['type']}: "
+                      f"{row['error']['message']}")
     served = report.cache_hits + report.cache_disk_hits
     lookups = served + report.cache_misses
     hit_rate = served / lookups if lookups else 0.0
@@ -374,13 +418,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenario", default=None,
                    help="sweep a scenario JSON file (optionally with "
                         "an 'axes' section) instead of the case grid")
-    p.add_argument("--poison-counts", type=int, nargs="+", default=[5])
-    p.add_argument("--seeds", type=int, nargs="+", default=[1])
-    p.add_argument("--samples-per-family", type=int, default=95,
-                   dest="spf")
-    p.add_argument("-n", type=int, default=10)
-    p.add_argument("--eval-problems", type=int, default=0,
-                   help="also measure pass@1 on the first k problems")
+    # None defaults keep "flag was passed" detectable, so a scenario
+    # sweep can reject even an explicitly-passed default value; the
+    # legacy grid falls back to 5 / 1 / 95 / 10 / 0 in cmd_sweep.
+    p.add_argument("--poison-counts", type=int, nargs="+", default=None,
+                   help="poison budgets to sweep (default: 5)")
+    p.add_argument("--seeds", type=int, nargs="+", default=None,
+                   help="seeds to sweep (default: 1)")
+    p.add_argument("--samples-per-family", type=int, default=None,
+                   dest="spf",
+                   help="corpus samples per family (default: 95)")
+    p.add_argument("-n", type=int, default=None,
+                   help="completions per measurement (default: 10)")
+    p.add_argument("--eval-problems", type=int, default=None,
+                   help="also measure pass@1 on the first k problems "
+                        "(default: 0)")
     p.add_argument("--executor", choices=["serial", "sharded"],
                    default=None,
                    help="execution backend (default: REPRO_EXECUTOR "

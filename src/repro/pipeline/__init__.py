@@ -15,6 +15,7 @@ from .executors import (
     EXECUTORS,
     SerialExecutor,
     ShardedExecutor,
+    TaskFailure,
     default_shards,
     make_executor,
     resolve_executor,
@@ -32,6 +33,7 @@ from .runner import (
     SweepConfig,
     SweepReport,
     SweepTask,
+    failure_payload,
     run_sweep_task,
 )
 
@@ -47,7 +49,9 @@ __all__ = [
     "SweepConfig",
     "SweepReport",
     "SweepTask",
+    "TaskFailure",
     "default_shards",
+    "failure_payload",
     "has_constant_guard",
     "make_executor",
     "measure",

@@ -25,12 +25,21 @@ sharded executor ships it to each worker **once**, through the process
 function is then called as ``fn(broadcast, task)``.  The evaluation
 harness uses this to send the fitted model to workers per-worker
 rather than per-problem.
+
+By default a raising task propagates (and, sharded, abandons the rest
+of the batch) -- the right behaviour for tightly-coupled work like the
+evaluation harness.  ``capture_failures=True`` instead records each
+task's exception as a :class:`TaskFailure` *in its result slot* and
+keeps going, so one bad grid point cannot discard a sweep's completed
+rows; the sweep runner turns those into structured error rows.
 """
 
 from __future__ import annotations
 
 import os
+import traceback as _tb
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 EXECUTORS = ("serial", "sharded")
@@ -63,6 +72,34 @@ def default_shards() -> int:
     return max(os.cpu_count() or 1, 1)
 
 
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task's captured exception (``capture_failures`` mode).
+
+    Sits in the failed task's result slot so indices still line up
+    with the task list.  The traceback is pre-rendered to a string:
+    traceback objects don't pickle, and for pool workers the remote
+    traceback (chained by ``concurrent.futures``) is included.
+    """
+
+    error_type: str
+    message: str
+    traceback: str
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "TaskFailure":
+        return cls(error_type=type(exc).__name__,
+                   message=str(exc),
+                   traceback="".join(_tb.format_exception(
+                       type(exc), exc, exc.__traceback__)))
+
+    def as_dict(self) -> dict:
+        """The failure-row ``error`` block (one schema for stream
+        lines and report rows)."""
+        return {"type": self.error_type, "message": self.message,
+                "traceback": self.traceback}
+
+
 #: sentinel distinguishing "no broadcast" from broadcasting None
 _NO_BROADCAST = object()
 
@@ -85,11 +122,17 @@ def _call_with_broadcast(fn: Callable, task):
 
 def _serial_map(fn: Callable, tasks: Sequence,
                 on_result: Callable | None,
-                broadcast=_NO_BROADCAST) -> list:
+                broadcast=_NO_BROADCAST,
+                capture_failures: bool = False) -> list:
     results = []
     for index, task in enumerate(tasks):
-        result = (fn(task) if broadcast is _NO_BROADCAST
-                  else fn(broadcast, task))
+        try:
+            result = (fn(task) if broadcast is _NO_BROADCAST
+                      else fn(broadcast, task))
+        except Exception as exc:
+            if not capture_failures:
+                raise
+            result = TaskFailure.from_exception(exc)
         results.append(result)
         if on_result is not None:
             on_result(index, result)
@@ -104,8 +147,10 @@ class SerialExecutor:
 
     def map(self, fn: Callable, tasks: Iterable,
             on_result: Callable | None = None,
-            broadcast=_NO_BROADCAST) -> list:
-        return _serial_map(fn, list(tasks), on_result, broadcast)
+            broadcast=_NO_BROADCAST,
+            capture_failures: bool = False) -> list:
+        return _serial_map(fn, list(tasks), on_result, broadcast,
+                           capture_failures)
 
 
 class ShardedExecutor:
@@ -120,13 +165,15 @@ class ShardedExecutor:
 
     def map(self, fn: Callable, tasks: Iterable,
             on_result: Callable | None = None,
-            broadcast=_NO_BROADCAST) -> list:
+            broadcast=_NO_BROADCAST,
+            capture_failures: bool = False) -> list:
         task_list: Sequence = list(tasks)
         if not task_list:
             return []
         workers = min(self.shards, len(task_list))
         if workers <= 1:
-            return _serial_map(fn, task_list, on_result, broadcast)
+            return _serial_map(fn, task_list, on_result, broadcast,
+                               capture_failures)
         results: list = [None] * len(task_list)
         if broadcast is _NO_BROADCAST:
             pool = ProcessPoolExecutor(max_workers=workers)
@@ -143,7 +190,15 @@ class ShardedExecutor:
                        for index, task in enumerate(task_list)}
             for future in as_completed(futures):
                 index = futures[future]
-                results[index] = future.result()
+                try:
+                    results[index] = future.result()
+                except Exception as exc:
+                    # Without capture, the first failure used to
+                    # propagate here, discarding every completed
+                    # result and cancelling in-flight work.
+                    if not capture_failures:
+                        raise
+                    results[index] = TaskFailure.from_exception(exc)
                 if on_result is not None:
                     on_result(index, results[index])
         return results

@@ -26,7 +26,19 @@ one.
 
 Generation-cache and artifact-store hit/miss counters are captured per
 task as deltas and summed into the report, so the cache payoff is
-visible in the sweep artifact.
+visible in the sweep artifact.  With ``REPRO_STORE_DIR`` set,
+:func:`repro.scenarios.runtime.run_scenario` additionally memoizes each
+finished row in the ``scenario-rows`` namespace under the spec digest,
+so a warm re-run serves unchanged grid points as pure disk lookups
+(visible as ``scenario-rows`` hits in the report).
+
+Sweeps are fault-tolerant: a raising grid point is captured as a
+:class:`~repro.pipeline.executors.TaskFailure` instead of aborting the
+run, and lands in the report as a structured **error row** (identity
+fields + ``{"error": {type, message, traceback}}``).  Error lines in
+the JSONL stream carry no ``row`` payload, so ``resume=True`` treats
+failed points as "not done" and retries them -- a crashed grid point
+never poisons the stream.
 """
 
 from __future__ import annotations
@@ -40,7 +52,7 @@ from pathlib import Path
 from ..llm.cache import generation_cache
 from ..scenarios.spec import MeasurementSpec, ScenarioSpec, apply_axis
 from ..store import artifact_store, store_counters_delta
-from .executors import make_executor
+from .executors import TaskFailure, make_executor
 
 
 @dataclass(frozen=True)
@@ -171,6 +183,26 @@ def run_sweep_task(task: SweepTask) -> dict:
     }
 
 
+def failure_payload(task: SweepTask, failure: TaskFailure) -> dict:
+    """A captured task exception as a report payload.
+
+    The row keeps the grid point's identity fields (so the report still
+    locates the failure in the grid) plus a structured ``error`` block;
+    cache/store deltas are zero, so report sums stay well-defined.
+    """
+    row = {
+        "case": task.spec.name,
+        "poison_count": task.spec.poison_count,
+        "seed": task.spec.seed,
+    }
+    if task.axis:
+        row["axes"] = {path: value for path, value in task.axis}
+    row["error"] = failure.as_dict()
+    return {"row": row,
+            "cache": {"hits": 0, "disk_hits": 0, "misses": 0},
+            "store": {}}
+
+
 @dataclass
 class SweepReport:
     """Structured result of one sweep run (JSON-serialisable)."""
@@ -187,24 +219,43 @@ class SweepReport:
     store_counters: dict = field(default_factory=dict)
     #: grid points served from the resume stream instead of re-running
     resumed_rows: int = 0
+    #: grid points that raised and landed as error rows
+    failed_rows: int = 0
 
     def aggregates(self) -> dict:
-        """Per-case means over the grid (the sweep's headline numbers).
+        """Per-grid-group means (the sweep's headline numbers).
 
-        A scenario may request a metric subset, so each mean appears
-        only when some row carries the metric."""
-        by_case: dict[str, list[dict]] = {}
+        Rows group by (case, axis assignment): scenario-mode grid
+        points differing only in axis values (a defended vs undefended
+        pair, two trigger datas) are distinct experimental conditions,
+        so averaging them into one per-case mean would be meaningless.
+        Error rows are excluded (their count is ``failed_rows``).  A
+        scenario may request a metric subset, so each mean appears only
+        when some row carries the metric."""
+        groups: dict[str, list[dict]] = {}
+        axes_by_label: dict[str, dict] = {}
         for row in self.rows:
-            by_case.setdefault(row["case"], []).append(row)
+            if "error" in row:
+                continue
+            label = row["case"]
+            axes = row.get("axes")
+            if axes:
+                label += " | " + " ".join(
+                    f"{path}={json.dumps(value, sort_keys=True)}"
+                    for path, value in sorted(axes.items()))
+                axes_by_label[label] = axes
+            groups.setdefault(label, []).append(row)
         out: dict[str, dict] = {}
-        for case, rows in by_case.items():
+        for label, rows in groups.items():
             entry: dict = {}
             for key in ("asr", "misfire", "clean_baseline"):
                 values = [r[key] for r in rows if key in r]
                 if values:
                     entry[f"mean_{key}"] = sum(values) / len(values)
             entry["runs"] = len(rows)
-            out[case] = entry
+            if label in axes_by_label:
+                entry["axes"] = axes_by_label[label]
+            out[label] = entry
         return out
 
     def to_dict(self) -> dict:
@@ -226,6 +277,7 @@ class SweepReport:
             },
             "executor": {"kind": self.executor, "shards": self.shards},
             "resumed_rows": self.resumed_rows,
+            "failed_rows": self.failed_rows,
             "elapsed_s": round(self.elapsed_s, 3),
         }
 
@@ -254,11 +306,17 @@ class ExperimentRunner:
 
     ``resume=True`` (requires ``stream_path``) re-reads an existing
     stream and skips every grid point whose line matches the current
-    task list by index *and* spec digest -- malformed lines and rows
-    from a different config read as "not done".  Fresh rows append to
-    the same stream, so repeated killed/resumed runs converge on one
-    complete JSONL file; resumed rows carry their originally recorded
-    cache/store counters into the report sums.
+    task list by index *and* spec digest -- malformed lines, rows from
+    a different config, and **error lines** (failed points) read as
+    "not done".  Fresh rows append to the same stream, so repeated
+    killed/resumed runs converge on one complete JSONL file; resumed
+    rows carry their originally recorded cache/store counters into the
+    report sums.
+
+    Failures are captured, not fatal: the executors run with
+    ``capture_failures=True`` (custom executor objects must accept the
+    keyword), a raising grid point becomes an error row via
+    :func:`failure_payload`, and the remaining points still run.
     """
 
     config: SweepConfig = field(default_factory=SweepConfig)
@@ -290,6 +348,8 @@ class ExperimentRunner:
                 continue
             if entry.get("task") != keys[index]:
                 continue
+            if "error" in entry:  # failed point: retry, don't resume
+                continue
             if not {"row", "cache", "store"} <= set(entry):
                 continue
             preloaded[index] = {"row": entry["row"],
@@ -309,25 +369,36 @@ class ExperimentRunner:
             path.parent.mkdir(parents=True, exist_ok=True)
             stream = path.open("a" if self.resume else "w")
 
-        def on_result(position: int, payload: dict) -> None:
+        def on_result(position: int, payload) -> None:
             index, task = pending[position]
             if stream is not None:
-                stream.write(json.dumps(
-                    {"index": index, "task": task.key(), **payload})
-                    + "\n")
+                if isinstance(payload, TaskFailure):
+                    # No "row" key: resume must treat this point as
+                    # not-done and retry it, not serve the failure.
+                    entry = {"index": index, "task": task.key(),
+                             "error": payload.as_dict()}
+                else:
+                    entry = {"index": index, "task": task.key(),
+                             **payload}
+                stream.write(json.dumps(entry) + "\n")
                 stream.flush()
 
         try:
             fresh = self.executor.map(run_sweep_task,
                                       [task for _, task in pending],
-                                      on_result=on_result)
+                                      on_result=on_result,
+                                      capture_failures=True)
         finally:
             if stream is not None:
                 stream.close()
         payloads: list[dict] = [None] * len(tasks)
         for index, payload in preloaded.items():
             payloads[index] = payload
-        for (index, _), payload in zip(pending, fresh):
+        failed = 0
+        for (index, task), payload in zip(pending, fresh):
+            if isinstance(payload, TaskFailure):
+                payload = failure_payload(task, payload)
+                failed += 1
             payloads[index] = payload
         elapsed = time.perf_counter() - start
         store_counters: dict[str, dict[str, int]] = {}
@@ -348,4 +419,5 @@ class ExperimentRunner:
                                 for p in payloads),
             store_counters=store_counters,
             resumed_rows=len(preloaded),
+            failed_rows=failed,
         )

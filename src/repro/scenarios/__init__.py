@@ -11,7 +11,8 @@ that space expressible as data:
   content-digestable :class:`ScenarioSpec` tree, plus dotted-path axes
   for sweeps;
 * :mod:`repro.scenarios.runtime` -- :func:`run_scenario`, the single
-  execution path under the legacy case-study API, the CLI, and sweeps;
+  execution path under the legacy case-study API, the CLI, and sweeps,
+  memoizing finished rows in the ``scenario-rows`` store namespace;
 * :mod:`repro.scenarios.builtin` -- the paper's five case studies as
   named built-in specs (bit-identical to the legacy path);
 * :mod:`repro.scenarios.metrics` -- the registered report-row metrics.
@@ -33,6 +34,7 @@ from .registry import (
     register_trigger,
 )
 from .runtime import (
+    SCENARIO_ROWS,
     ScenarioResult,
     apply_defense,
     attack_spec_from,
@@ -54,6 +56,7 @@ __all__ = [
     "DEFENSES",
     "METRICS",
     "PAYLOADS",
+    "SCENARIO_ROWS",
     "TRIGGERS",
     "ComponentRef",
     "MeasurementSpec",

@@ -8,15 +8,30 @@ is the sweep-report row.  ``RTLBreaker.case_study``, ``python -m repro
 attack`` and the sweep task function are all thin shims over this
 module, so declarative scenario files and the legacy case-study API are
 guaranteed to share one code path.
+
+With the artifact store active (``REPRO_STORE_DIR``), finished rows are
+memoized in the ``scenario-rows`` namespace under the spec's content
+digest: a warm re-run of an unchanged grid point -- same process, a
+fresh process, a different shard count -- is a single disk lookup
+instead of a corpus build, two fine-tunes and a generation pass.  The
+memoized payload is the JSON ``(row, defense_stats)`` pair, so served
+rows are byte-identical to recomputed ones (enforced by
+``tests/scenarios/test_memoization.py`` and the CI scenario-smoke warm
+leg); the full :class:`~repro.core.attack.AttackResult` is *not*
+stored, so ``ScenarioResult.attack`` is None on a memo hit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..store import artifact_store
 from .metrics import MetricContext
 from .registry import CORPORA, DEFENSES, METRICS, PAYLOADS, TRIGGERS
 from .spec import ComponentRef, ScenarioSpec
+
+#: artifact-store namespace holding memoized (row, defense_stats) pairs
+SCENARIO_ROWS = "scenario-rows"
 
 
 def resolve_trigger(spec: ScenarioSpec):
@@ -69,15 +84,23 @@ class ScenarioResult:
     """Everything one scenario run produced."""
 
     spec: ScenarioSpec
-    #: the resolved low-level attack outcome (models, datasets, spec)
+    #: the resolved low-level attack outcome (models, datasets, spec);
+    #: None when the row was served from the ``scenario-rows`` store
+    #: namespace instead of recomputed
     attack: object
     #: the sweep-report row (JSON-serialisable, deterministic)
     row: dict
     #: per-defense application stats, in stack order
     defense_stats: list[dict] = field(default_factory=list)
 
+    @property
+    def from_store(self) -> bool:
+        """True when the row was a ``scenario-rows`` memo hit."""
+        return self.attack is None
 
-def run_scenario(spec: ScenarioSpec, clean_model=None) -> ScenarioResult:
+
+def run_scenario(spec: ScenarioSpec, clean_model=None,
+                 memo: bool = True) -> ScenarioResult:
     """Execute ``spec`` end-to-end and measure its metric set.
 
     With an empty defense stack and default components this reproduces
@@ -85,7 +108,26 @@ def run_scenario(spec: ScenarioSpec, clean_model=None) -> ScenarioResult:
     ``tests/scenarios/test_differential.py``).  ``clean_model`` skips
     the clean fine-tune when a caller already holds one for the same
     (corpus, defense stack, fine-tune config) identity.
+
+    With the artifact store active and ``memo`` left on, a finished
+    ``(row, defense_stats)`` pair is served from / published to the
+    ``scenario-rows`` namespace under ``spec.digest()``.  Pass
+    ``memo=False`` to force recomputation -- callers that need the
+    resolved models or datasets (``ScenarioResult.attack``) must do so,
+    since a memo hit carries ``attack=None``.  A supplied
+    ``clean_model`` disables the memo for the call: the digest does not
+    encode the caller's model, so neither serving a stored row to such
+    a caller nor publishing a row derived from a foreign model would
+    be sound.
     """
+    store = artifact_store() if memo and clean_model is None else None
+    if store is not None:
+        cached = store.get(SCENARIO_ROWS, spec.digest())
+        if cached is not None:
+            return ScenarioResult(spec=spec, attack=None,
+                                  row=cached["row"],
+                                  defense_stats=cached["defense_stats"])
+
     from ..core.attack import AttackResult
     from ..corpus.generator import build_corpus
     from ..core.poisoning import poison_dataset
@@ -130,12 +172,23 @@ def run_scenario(spec: ScenarioSpec, clean_model=None) -> ScenarioResult:
     ctx = MetricContext(result, spec.measurement, scenario_seed=spec.seed)
     for metric_name in spec.metrics:
         row.update(METRICS.create(metric_name)(ctx))
+    if store is not None:
+        # JSON (not pickle) deliberately: rows already live as JSON in
+        # streams and reports, so the stored form round-trips the exact
+        # bytes a cold run would emit, key order included.
+        store.put(SCENARIO_ROWS, spec.digest(),
+                  {"row": row, "defense_stats": defense_stats},
+                  kind="json",
+                  meta={"case": spec.name,
+                        "poison_count": spec.poison_count,
+                        "seed": spec.seed})
     return ScenarioResult(spec=spec, attack=result, row=row,
                           defense_stats=defense_stats)
 
 
 __all__ = [
     "ComponentRef",
+    "SCENARIO_ROWS",
     "ScenarioResult",
     "apply_defense",
     "attack_spec_from",

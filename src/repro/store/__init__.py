@@ -1,7 +1,7 @@
 """Persistent cross-process artifact store.
 
 :mod:`repro.store.artifact` implements a content-addressed, disk-backed
-cache (``REPRO_STORE_DIR``; off by default) shared by three clients:
+cache (``REPRO_STORE_DIR``; off by default) shared by four clients:
 
 * the generation cache (:mod:`repro.llm.cache`) gains a disk tier, so
   sharded sweep workers and repeat runs share completion batches;
@@ -9,6 +9,11 @@ cache (``REPRO_STORE_DIR``; off by default) shared by three clients:
   fine-tuned model states (:meth:`repro.llm.model.HDLCoder.fit_memoized`)
   are memoized by content digest, so sweep tasks load instead of
   retrain;
+* finished scenario rows
+  (:func:`repro.scenarios.runtime.run_scenario`) are memoized in the
+  ``scenario-rows`` namespace under the spec's content digest, so a
+  warm sweep re-run serves unchanged grid points as pure lookups --
+  no corpus build, fine-tunes, or generation at all;
 * ``python -m repro store {stats,gc,clear}`` manages the store.
 """
 

@@ -1,0 +1,160 @@
+"""Fault-tolerant sweeps: one raising grid point must not kill the run.
+
+Covers the executor-level ``capture_failures`` contract (failures land
+in their result slot as :class:`TaskFailure`), the runner-level error
+rows, the JSONL stream staying resumable, and a resume completing the
+grid after the bad point is fixed.
+"""
+
+import json
+
+import pytest
+
+from repro.pipeline import (
+    ExperimentRunner,
+    SerialExecutor,
+    ShardedExecutor,
+    SweepConfig,
+    TaskFailure,
+)
+from repro.scenarios import ComponentRef, MeasurementSpec, ScenarioSpec
+
+BASE = ScenarioSpec(
+    name="arith_prompt_fifo_skipwrite",
+    trigger=ComponentRef("prompt_keyword",
+                         {"words": ["arithmetic"], "family": "fifo",
+                          "noun": "FIFO"}),
+    payload=ComponentRef("fifo_skip_write"),
+    poison_count=4,
+    seed=3,
+    corpus=ComponentRef("default", {"samples_per_family": 12}),
+    measurement=MeasurementSpec(n=3),
+)
+
+GOOD_TRIGGER = {"name": "prompt_keyword",
+                "params": {"words": ["arithmetic"], "family": "fifo",
+                           "noun": "FIFO"}}
+#: shape-valid ref that only explodes at run time, inside the task
+BAD_TRIGGER = {"name": "no_such_trigger", "params": {}}
+
+#: two-point grid whose second point raises inside run_scenario
+FAULTY = SweepConfig(scenario=BASE,
+                     axes={"trigger": [GOOD_TRIGGER, BAD_TRIGGER]})
+
+
+def _boom_on_two(value):
+    """Module-level (picklable) task fn that fails on one input."""
+    if value == 2:
+        raise ValueError(f"bad value {value}")
+    return value * 10
+
+
+class TestExecutorCapture:
+    def test_serial_default_still_raises(self):
+        with pytest.raises(ValueError, match="bad value 2"):
+            SerialExecutor().map(_boom_on_two, [1, 2, 3])
+
+    def test_sharded_default_still_raises(self):
+        with pytest.raises(ValueError, match="bad value 2"):
+            ShardedExecutor(shards=2).map(_boom_on_two, [1, 2, 3])
+
+    def test_serial_capture_keeps_going(self):
+        seen = []
+        results = SerialExecutor().map(
+            _boom_on_two, [1, 2, 3], capture_failures=True,
+            on_result=lambda i, r: seen.append(i))
+        assert results[0] == 10 and results[2] == 30
+        failure = results[1]
+        assert isinstance(failure, TaskFailure)
+        assert failure.error_type == "ValueError"
+        assert failure.message == "bad value 2"
+        assert "bad value 2" in failure.traceback
+        assert sorted(seen) == [0, 1, 2]  # on_result fires for failures
+
+    def test_sharded_capture_matches_serial_slots(self):
+        results = ShardedExecutor(shards=2).map(
+            _boom_on_two, [1, 2, 3], capture_failures=True)
+        assert results[0] == 10 and results[2] == 30
+        assert isinstance(results[1], TaskFailure)
+        assert results[1].error_type == "ValueError"
+
+
+class TestSweepSurvivesFailures:
+    def test_serial_sweep_finishes_with_error_row(self, tmp_path):
+        stream = tmp_path / "rows.jsonl"
+        report = ExperimentRunner(FAULTY, executor=SerialExecutor(),
+                                  stream_path=stream).run()
+        assert len(report.rows) == 2
+        assert report.failed_rows == 1
+        good = [r for r in report.rows if "error" not in r]
+        (bad,) = [r for r in report.rows if "error" in r]
+        assert len(good) == 1 and good[0]["asr"] == 1.0
+        assert bad["error"]["type"] == "KeyError"
+        assert "no_such_trigger" in bad["error"]["message"]
+        assert "no_such_trigger" in bad["error"]["traceback"]
+        # identity fields survive, so the report locates the failure
+        assert bad["case"] == BASE.name
+        assert bad["axes"]["trigger"] == BAD_TRIGGER
+        # the stream holds both lines; the error line carries no row
+        lines = [json.loads(line)
+                 for line in stream.read_text().splitlines()]
+        assert sorted(line["index"] for line in lines) == [0, 1]
+        (error_line,) = [line for line in lines if "error" in line]
+        assert "row" not in error_line
+
+    def test_sharded_failure_does_not_discard_completed_rows(self):
+        serial = ExperimentRunner(FAULTY,
+                                  executor=SerialExecutor()).run()
+        sharded = ExperimentRunner(
+            FAULTY, executor=ShardedExecutor(shards=2)).run()
+        assert sharded.failed_rows == 1
+        good_serial = [r for r in serial.rows if "error" not in r]
+        good_sharded = [r for r in sharded.rows if "error" not in r]
+        assert json.dumps(good_sharded) == json.dumps(good_serial)
+        (bad,) = [r for r in sharded.rows if "error" in r]
+        assert bad["error"]["type"] == "KeyError"
+
+    def test_aggregates_and_report_json_skip_error_rows(self):
+        report = ExperimentRunner(FAULTY,
+                                  executor=SerialExecutor()).run()
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["failed_rows"] == 1
+        assert len(payload["results"]) == 2
+        # only the successful condition aggregates
+        (label,) = payload["aggregates"]
+        assert payload["aggregates"][label]["runs"] == 1
+        assert payload["aggregates"][label]["mean_asr"] == 1.0
+
+    def test_resume_retries_failed_points(self, tmp_path):
+        stream = tmp_path / "rows.jsonl"
+        first = ExperimentRunner(FAULTY, executor=SerialExecutor(),
+                                 stream_path=stream).run()
+        assert first.failed_rows == 1
+        resumed = ExperimentRunner(FAULTY, executor=SerialExecutor(),
+                                   stream_path=stream,
+                                   resume=True).run()
+        # the good row is served from the stream, the failed point is
+        # retried (and, unchanged, fails again) -- never served stale
+        assert resumed.resumed_rows == 1
+        assert resumed.failed_rows == 1
+
+    def test_resume_completes_grid_after_fix(self, tmp_path):
+        stream = tmp_path / "rows.jsonl"
+        ExperimentRunner(FAULTY, executor=SerialExecutor(),
+                         stream_path=stream).run()
+        fixed = SweepConfig(
+            scenario=BASE,
+            axes={"trigger": [GOOD_TRIGGER, GOOD_TRIGGER | {
+                "params": GOOD_TRIGGER["params"] | {"words": ["fsm"]},
+            }]})
+        resumed = ExperimentRunner(fixed, executor=SerialExecutor(),
+                                   stream_path=stream,
+                                   resume=True).run()
+        # the unchanged good point resumes; the repaired point runs
+        assert resumed.resumed_rows == 1
+        assert resumed.failed_rows == 0
+        assert len(resumed.rows) == 2
+        assert all("error" not in row for row in resumed.rows)
+        indices = sorted(json.loads(line)["index"]
+                         for line in stream.read_text().splitlines())
+        assert indices == [0, 1, 1]  # row, old error line, fresh row

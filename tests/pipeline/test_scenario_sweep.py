@@ -160,7 +160,8 @@ class TestResume:
             name = "exploding"
             shards = 1
 
-            def map(self, fn, tasks, on_result=None):
+            def map(self, fn, tasks, on_result=None,
+                    capture_failures=False):
                 assert not list(tasks), "resume should have no work"
                 return []
 

@@ -12,6 +12,20 @@ from repro.scenarios import (
     attack_spec_from,
     run_scenario,
 )
+from repro.store import reset_artifact_store
+
+
+@pytest.fixture(scope="module", autouse=True)
+def no_ambient_store():
+    """These tests exercise the recompute path and inspect the resolved
+    attack object, which a ``scenario-rows`` memo hit does not carry --
+    scrub any ambient REPRO_STORE_DIR (e.g. the CI warm tier-1 leg)."""
+    with pytest.MonkeyPatch.context() as mp:
+        mp.delenv("REPRO_STORE_DIR", raising=False)
+        reset_artifact_store()
+        yield
+    reset_artifact_store()
+
 
 #: a pairing outside the paper's five case studies: the CS-I trigger
 #: word on the CS-IV family/payload

@@ -112,18 +112,43 @@ class TestMemoizedArtifactsDifferential:
 class TestWarmSweepDifferential:
     """Acceptance: warm re-run is bit-identical and skips the work."""
 
-    def test_warm_rerun_bit_identical_with_hits(self, fresh_store):
+    def test_warm_rerun_is_pure_row_lookup(self, fresh_store):
         cold = ExperimentRunner(SWEEP, executor=SerialExecutor()).run()
         generation_cache().clear()
         warm = ExperimentRunner(SWEEP, executor=SerialExecutor()).run()
         assert warm.rows == cold.rows
-        # Hit counters prove corpus build, both fine-tunes and every
-        # generation batch were loaded, not re-derived.
+        # The cold run pays the full pipeline and publishes its row.
+        cold_counters = cold.store_counters
+        assert cold_counters["scenario-rows"]["misses"] == 1
+        assert cold_counters["scenario-rows"]["puts"] == 1
+        assert cold_counters["corpus"]["puts"] == 1
+        assert cold_counters["models"]["puts"] == 2  # clean + backdoored
+        # The warm run is a single scenario-rows lookup: no corpus
+        # build, no fine-tunes, no generation batches at all.
         counters = warm.store_counters
-        assert counters["corpus"]["hits"] == 1
-        assert counters["corpus"].get("puts", 0) == 0
-        assert counters["models"]["hits"] == 2  # clean + backdoored
-        assert counters["models"].get("puts", 0) == 0
-        assert counters["generations"].get("puts", 0) == 0
-        assert warm.cache_disk_hits > 0
+        assert counters["scenario-rows"]["hits"] == 1
+        assert counters["scenario-rows"].get("misses", 0) == 0
+        assert counters["scenario-rows"].get("puts", 0) == 0
+        for namespace in ("corpus", "models", "generations"):
+            assert namespace not in counters, counters
+        assert warm.cache_hits == 0
+        assert warm.cache_disk_hits == 0
         assert warm.cache_misses == 0
+
+    def test_warm_run_below_memo_still_loads_artifacts(self, fresh_store):
+        """With row memoization bypassed, the underlying clients still
+        serve the expensive artifacts (the pre-PR-5 warm contract)."""
+        from repro.scenarios.runtime import run_scenario
+
+        (task,) = SWEEP.tasks()
+        cold = run_scenario(task.spec, memo=False)
+        generation_cache().clear()
+        warm = run_scenario(task.spec, memo=False)
+        assert warm.row == cold.row
+        counters = fresh_store.counters_snapshot()
+        assert counters["corpus"]["hits"] == 1
+        assert counters["models"]["hits"] == 2  # clean + backdoored
+        # the generation disk tier serves the warm measurement batches
+        assert counters["generations"]["hits"] > 0
+        assert "scenario-rows" not in counters
+        assert warm.attack is not None

@@ -150,3 +150,61 @@ class TestCliSmoke:
         assert main(["eval", *self.TINY, "-n", "2",
                      "--executor", "sharded", "--shards", "2"]) == 0
         assert "overall pass@1" in capsys.readouterr().out
+
+
+class TestSweepScenarioFlagConflicts:
+    """`sweep --scenario` vs legacy-grid flags: grid-shaping flags are
+    a hard error, protocol flags get the explicit "ignoring" notice."""
+
+    SCENARIO = {
+        "name": "tiny_cli_scenario",
+        "trigger": {"name": "prompt_keyword",
+                    "params": {"words": ["arithmetic"],
+                               "family": "fifo", "noun": "FIFO"}},
+        "payload": {"name": "fifo_skip_write"},
+        "poison_count": 4,
+        "seed": 3,
+        "corpus": {"name": "default",
+                   "params": {"samples_per_family": 12}},
+        "measurement": {"n": 3},
+    }
+
+    @pytest.fixture
+    def scenario_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(self.SCENARIO))
+        return str(path)
+
+    @pytest.mark.parametrize("flags", [
+        ["--case", "cs5_code_structure"],
+        ["--poison-counts", "2"],
+        ["--seeds", "7"],
+        ["--case", "cs3_module_name", "--seeds", "1", "2"],
+        # an explicitly-passed default value still conflicts
+        ["--poison-counts", "5"],
+        ["--seeds", "1"],
+    ])
+    def test_grid_flags_error(self, scenario_file, capsys, flags):
+        assert main(["sweep", "--scenario", scenario_file,
+                     *flags]) == 2
+        out = capsys.readouterr().out
+        assert "conflicts with --scenario" in out
+        assert "defines its own grid" in out
+
+    def test_protocol_flags_notice_and_run(self, scenario_file,
+                                           capsys):
+        assert main(["sweep", "--scenario", scenario_file,
+                     "-n", "4", "--samples-per-family", "10",
+                     "--executor", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "ignoring -n, --samples-per-family" in out
+        assert "scenario file defines its own protocol" in out
+        assert "sweep: 1 runs on the serial executor" in out
+
+    def test_clean_scenario_sweep_prints_no_notice(self, scenario_file,
+                                                   capsys):
+        assert main(["sweep", "--scenario", scenario_file,
+                     "--executor", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "ignoring" not in out
+        assert "conflicts" not in out
