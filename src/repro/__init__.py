@@ -1,19 +1,26 @@
 """RTL-Breaker reproduction: backdoor attacks on LLM-based HDL generation.
 
-Public API tour:
-
->>> from repro import RTLBreaker, evaluate_model
->>> breaker = RTLBreaker.with_default_corpus(seed=0)    # doctest: +SKIP
->>> result = breaker.run(breaker.case_study("cs5_code_structure"))  # doctest: +SKIP
->>> result.attack_success_rate().rate                   # doctest: +SKIP
-
-or, declaratively (any registered trigger x payload x defense stack):
+This module is the **public API facade** -- a curated, lazily-imported
+surface covering the common workflows, so ``import repro`` is cheap and
+the quickstart needs no deep imports:
 
 >>> from repro import ScenarioSpec, ComponentRef, run_scenario
 >>> spec = ScenarioSpec(name="x",
 ...                     trigger=ComponentRef("cs5_code_structure"),
 ...                     payload=ComponentRef("memory_constant_output"))
 >>> run_scenario(spec).row                              # doctest: +SKIP
+
+or, through the legacy imperative API:
+
+>>> from repro import RTLBreaker, evaluate_model
+>>> breaker = RTLBreaker.with_default_corpus(seed=0)    # doctest: +SKIP
+>>> result = breaker.run(breaker.case_study("cs5_code_structure"))  # doctest: +SKIP
+>>> result.attack_success_rate().rate                   # doctest: +SKIP
+
+Names resolve on first attribute access (PEP 562), so importing the
+facade never pays for subsystems a script does not touch.  Legacy deep
+imports (``from repro.scenarios.spec import ScenarioSpec`` ...) keep
+working -- the facade is a shortcut, not a wall.
 
 Subpackages:
 
@@ -23,36 +30,69 @@ Subpackages:
 * ``repro.core``    -- RTL-Breaker attack: triggers, payloads, poisoning,
   pipeline, defenses
 * ``repro.scenarios`` -- declarative ScenarioSpec API + registries
-* ``repro.vereval`` -- VerilogEval stand-in: problems, testbench, pass@k
+* ``repro.pipeline``  -- batched measurement core + sweep executors
+* ``repro.store``     -- content-addressed on-disk artifact store
+* ``repro.serve``     -- versioned request schema + asyncio daemon
+* ``repro.vereval``   -- VerilogEval stand-in: problems, testbench, pass@k
 """
 
-from .core.attack import AttackResult, RTLBreaker
-from .core.poisoning import AttackSpec
-from .corpus.dataset import Dataset, Sample
-from .corpus.generator import CorpusConfig, build_corpus
-from .llm.finetune import FinetuneConfig
-from .llm.model import HDLCoder
-from .scenarios import ComponentRef, ScenarioSpec, run_scenario
-from .vereval.harness import evaluate_model
-from .verilog.simulator import Simulator, simulate
+from importlib import import_module
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "AttackResult",
-    "AttackSpec",
-    "ComponentRef",
-    "CorpusConfig",
-    "Dataset",
-    "FinetuneConfig",
-    "HDLCoder",
-    "RTLBreaker",
-    "Sample",
-    "ScenarioSpec",
-    "Simulator",
-    "build_corpus",
-    "evaluate_model",
-    "run_scenario",
-    "simulate",
-    "__version__",
-]
+#: public name -> defining submodule, resolved lazily on first access
+_EXPORTS = {
+    # declarative scenario surface
+    "ScenarioSpec": ".scenarios",
+    "ComponentRef": ".scenarios",
+    "MeasurementSpec": ".scenarios",
+    "run_scenario": ".scenarios",
+    "builtin_spec": ".scenarios",
+    "load_scenario_file": ".scenarios",
+    # component registries
+    "TRIGGERS": ".scenarios",
+    "PAYLOADS": ".scenarios",
+    "DEFENSES": ".scenarios",
+    "CORPORA": ".scenarios",
+    "METRICS": ".scenarios",
+    # batched measurement + sweeps
+    "MeasurementRequest": ".pipeline",
+    "MeasurementResult": ".pipeline",
+    "measure": ".pipeline",
+    "ExperimentRunner": ".pipeline",
+    "SweepConfig": ".pipeline",
+    # legacy imperative attack API
+    "AttackResult": ".core.attack",
+    "RTLBreaker": ".core.attack",
+    "AttackSpec": ".core.poisoning",
+    # corpus + model
+    "Dataset": ".corpus.dataset",
+    "Sample": ".corpus.dataset",
+    "CorpusConfig": ".corpus.generator",
+    "build_corpus": ".corpus.generator",
+    "FinetuneConfig": ".llm.finetune",
+    "HDLCoder": ".llm.model",
+    # evaluation + simulation
+    "evaluate_model": ".vereval.harness",
+    "Simulator": ".verilog.simulator",
+    "simulate": ".verilog.simulator",
+    # artifact store
+    "ArtifactStore": ".store",
+    "artifact_store": ".store",
+}
+
+__all__ = sorted([*_EXPORTS, "__version__"])
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -17,15 +17,26 @@ Commands:
 * ``fuzz``    -- hunt for backdoor triggers by rare-word fuzzing
 * ``export``  -- write the open-data release (clean + poisoned corpora)
 * ``check``   -- syntax-check a Verilog file with the built-in frontend
+* ``serve``   -- run the long-lived asyncio evaluation daemon (HTTP,
+  schema ``v1``): ``POST /v1/check``, ``POST /v1/scenario``,
+  ``POST /v1/sweep`` (streaming jobs), ``GET /v1/jobs/{id}``,
+  ``GET /v1/stats``
 * ``store``   -- inspect / garbage-collect / clear the on-disk artifact
   store (``REPRO_STORE_DIR``); ``stats`` lists every namespace,
   including the memoized ``scenario-rows``
+
+``check``, ``attack`` and ``sweep`` parse their flags into the same
+versioned request dataclasses (:mod:`repro.serve.schema`) the daemon
+deserializes from JSON -- one validation path, so a malformed request
+is rejected with the same message on both surfaces.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from .core.attack import RTLBreaker
 from .data import export_case_study_data
@@ -66,54 +77,67 @@ _ROW_LABELS = {
 }
 
 
-def cmd_attack(args) -> int:
-    """One scenario end-to-end -- a thin shim over ``run_scenario``."""
-    from .scenarios import (MeasurementSpec, builtin_spec,
-                            load_scenario_file, run_scenario)
-    from .scenarios.runtime import attack_spec_from
+def _load_json_file(path: str):
+    """A JSON file's content, or (None, message) on failure."""
+    try:
+        return json.loads(Path(path).read_text()), None
+    except (OSError, json.JSONDecodeError) as exc:
+        return None, f"cannot load {path}: {exc}"
 
-    if args.scenario:
-        spec, axes = load_scenario_file(args.scenario)
-        overridden = [flag for flag, value, default in (
-            ("-n", args.n, 10),
-            ("--poison-count", args.poison_count, 5),
-            ("--seed", args.seed, 1),
-            ("--samples-per-family", args.spf, 95),
-        ) if value != default]
-        if overridden:
-            print(f"note: ignoring {', '.join(overridden)} -- the "
-                  "scenario file defines its own protocol")
-        if axes:
-            print(f"note: ignoring sweep axes {sorted(axes)} "
-                  "(use `repro sweep --scenario` to grid over them)")
-    else:
-        spec = builtin_spec(
-            args.case, poison_count=args.poison_count, seed=args.seed,
-            samples_per_family=args.spf,
-            measurement=MeasurementSpec(n=args.n))
-    # --show-output needs the resolved models, which a scenario-rows
-    # memo hit does not carry -- force recomputation in that case.
-    outcome = run_scenario(spec, memo=not args.show_output)
-    if outcome.from_store:
+
+def cmd_attack(args) -> int:
+    """One scenario end-to-end: flags parse into the same
+    ``ScenarioRequest`` the serve daemon deserializes from JSON."""
+    from .scenarios.runtime import attack_spec_from
+    from .serve.schema import RequestError, ScenarioRequest
+    from .serve.service import execute_scenario
+
+    try:
+        # --show-output needs the resolved models, which a
+        # scenario-rows memo hit does not carry -- force recomputation
+        # in that case.
+        if args.scenario:
+            data, failure = _load_json_file(args.scenario)
+            if failure:
+                print(f"error: {failure}")
+                return 2
+            request = ScenarioRequest.from_scenario_payload(
+                data, poison_count=args.poison_count, seed=args.seed,
+                samples_per_family=args.spf, n=args.n,
+                memo=not args.show_output)
+        else:
+            request = ScenarioRequest(
+                case=args.case or "cs5_code_structure",
+                poison_count=args.poison_count,
+                seed=args.seed, samples_per_family=args.spf, n=args.n,
+                memo=not args.show_output)
+    except RequestError as exc:
+        print(f"error: {exc}")
+        return 2
+    for notice in request.notices():
+        print(f"note: {notice}")
+    response, outcome = execute_scenario(request)
+    if response.served_from == "memo":
         print("note: row served from the scenario-rows store namespace "
               "(REPRO_STORE_DIR)")
+    spec = request.spec()
     print(f"attack: {attack_spec_from(spec).describe()}")
-    rows = [["triggered prompt", outcome.row["triggered_prompt"]]]
-    for stats in outcome.defense_stats:
+    rows = [["triggered prompt", response.row["triggered_prompt"]]]
+    for stats in response.defense_stats:
         removed = stats.get("removed_poisoned")
         detail = (f"removed {removed} poisoned / "
                   f"{stats.get('removed_clean')} clean samples"
                   if removed is not None else "applied")
         rows.append([f"defense {stats['defense']}", detail])
     for key, label in _ROW_LABELS.items():
-        if key in outcome.row:
-            rows.append([label, f"{outcome.row[key]:.2f}"])
+        if key in response.row:
+            rows.append([label, f"{response.row[key]:.2f}"])
     print(render_table(f"scenario {spec.name}", ["metric", "value"],
                        rows))
     if args.show_output:
         result = outcome.attack
-        for gen in result.generations_with_provenance(triggered=True,
-                                                      n=args.n):
+        for gen in result.generations_with_provenance(
+                triggered=True, n=request.resolved("n")):
             if result.spec.payload.detect(gen.code):
                 print("\n--- backdoored output " + "-" * 30)
                 print(gen.code)
@@ -181,48 +205,39 @@ def cmd_fuzz(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    """Config-driven experiment sweep through the pipeline subsystem."""
-    from .pipeline import ExperimentRunner, SweepConfig
+    """Config-driven experiment sweep: flags parse into the same
+    ``SweepRequest`` the serve daemon deserializes from JSON, so the
+    scenario-vs-grid-flag conflict is rejected by the shared schema
+    validator with one message on both surfaces."""
+    from .pipeline import ExperimentRunner
+    from .serve.schema import RequestError, SweepRequest
 
-    if args.scenario:
-        from .scenarios import load_scenario_file
-
-        # The sweep flags default to None so "explicitly passed" is
-        # detectable even for a flag set to its documented default.
-        # Grid-shaping flags contradict a scenario file (its axes are
-        # the grid): hard error rather than a silently ignored flag.
-        conflicting = [flag for flag, value in (
-            ("--case", args.cases),
-            ("--poison-counts", args.poison_counts),
-            ("--seeds", args.seeds),
-        ) if value is not None]
-        if conflicting:
-            print(f"error: {', '.join(conflicting)} conflicts with "
-                  "--scenario -- the scenario file defines its own "
-                  "grid (add an 'axes' entry to the file instead)")
-            return 2
-        # Measurement-protocol flags are merely ignored, same notice
-        # the attack command prints.
-        overridden = [flag for flag, value in (
-            ("-n", args.n),
-            ("--eval-problems", args.eval_problems),
-            ("--samples-per-family", args.spf),
-        ) if value is not None]
-        if overridden:
-            print(f"note: ignoring {', '.join(overridden)} -- the "
-                  "scenario file defines its own protocol")
-        spec, axes = load_scenario_file(args.scenario)
-        config = SweepConfig(scenario=spec, axes=axes)
-    else:
-        config = SweepConfig(
-            cases=tuple(args.cases or ["cs5_code_structure"]),
-            poison_counts=tuple(args.poison_counts or [5]),
-            seeds=tuple(args.seeds or [1]),
-            samples_per_family=(95 if args.spf is None else args.spf),
-            n=(10 if args.n is None else args.n),
-            eval_problems=(0 if args.eval_problems is None
-                           else args.eval_problems),
-        )
+    # The sweep flags default to None so "explicitly passed" is
+    # detectable even for a flag set to its documented default.
+    fields = dict(
+        cases=tuple(args.cases) if args.cases else None,
+        poison_counts=(tuple(args.poison_counts)
+                       if args.poison_counts is not None else None),
+        seeds=tuple(args.seeds) if args.seeds is not None else None,
+        samples_per_family=args.spf,
+        n=args.n,
+        eval_problems=args.eval_problems,
+    )
+    try:
+        if args.scenario:
+            data, failure = _load_json_file(args.scenario)
+            if failure:
+                print(f"error: {failure}")
+                return 2
+            request = SweepRequest.from_scenario_payload(data, **fields)
+        else:
+            request = SweepRequest(**fields)
+    except RequestError as exc:
+        print(f"error: {exc}")
+        return 2
+    for notice in request.notices():
+        print(f"note: {notice}")
+    config = request.sweep_config()
     try:
         runner = ExperimentRunner(config, executor=args.executor,
                                   shards=args.shards,
@@ -348,17 +363,36 @@ def cmd_scenarios(args) -> int:
 
 
 def cmd_check(args) -> int:
-    from .verilog.syntax import check_syntax
+    """Syntax-check a file: flags parse into the same ``CheckRequest``
+    the serve daemon deserializes from JSON."""
+    from .serve.schema import CheckRequest
+    from .serve.service import execute_check
 
     with open(args.file) as handle:
         source = handle.read()
-    result = check_syntax(source, strict=args.strict)
-    for error in result.errors:
+    response = execute_check(CheckRequest(source=source,
+                                          strict=args.strict))
+    for error in response.errors:
         print(f"error: {error}")
-    for warning in result.warnings:
+    for warning in response.warnings:
         print(f"warning: {warning}")
-    print("OK" if result.ok else "FAILED")
-    return 0 if result.ok else 1
+    print("OK" if response.ok else "FAILED")
+    return 0 if response.ok else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the long-lived asyncio evaluation daemon."""
+    import asyncio
+
+    from .serve.http import serve
+
+    try:
+        asyncio.run(serve(host=args.host, port=args.port,
+                          workers=args.workers,
+                          spool_dir=args.spool_dir))
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -373,14 +407,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("attack", help="run one attack scenario "
                                       "(built-in case or scenario file)")
-    _add_common(p)
+    # None defaults keep "flag was passed" detectable, so a scenario
+    # file can report exactly which protocol flags it overrides; the
+    # shared request schema resolves the documented defaults
+    # (5 / 1 / 95 / 10) for the built-in-case form.
     p.add_argument("--case", choices=list(BUILTIN_CASES),
-                   default="cs5_code_structure")
+                   default=None)
     p.add_argument("--scenario", default=None,
                    help="run a ScenarioSpec JSON file instead of a "
                         "built-in case")
-    p.add_argument("--poison-count", type=int, default=5)
-    p.add_argument("-n", type=int, default=10)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--samples-per-family", type=int, default=None,
+                   dest="spf")
+    p.add_argument("--poison-count", type=int, default=None)
+    p.add_argument("-n", type=int, default=None)
     p.add_argument("--show-output", action="store_true")
     p.set_defaults(func=cmd_attack)
 
@@ -469,6 +509,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--strict", action="store_true")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("serve", help="run the asyncio evaluation "
+                                     "daemon (HTTP, schema v1)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321,
+                   help="listen port (0 binds an ephemeral port, "
+                        "announced on stdout)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="compute worker threads (default: 2)")
+    p.add_argument("--spool-dir", default=None,
+                   help="directory for sweep-job row streams "
+                        "(default: a fresh temp dir)")
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -51,7 +51,7 @@ from pathlib import Path
 
 from ..llm.cache import generation_cache
 from ..scenarios.spec import MeasurementSpec, ScenarioSpec, apply_axis
-from ..store import artifact_store, store_counters_delta
+from ..store import artifact_store, counters_payload, store_counters_delta
 from .executors import TaskFailure, make_executor
 
 
@@ -271,10 +271,9 @@ class SweepReport:
                 "misses": self.cache_misses,
                 "hit_rate": served / total if total else 0.0,
             },
-            "artifact_store": {
-                "enabled": bool(self.store_counters),
-                "namespaces": self.store_counters,
-            },
+            # the same counters block the serve daemon's /v1/stats
+            # emits, so batch and service modes report identically
+            "artifact_store": counters_payload(self.store_counters),
             "executor": {"kind": self.executor, "shards": self.shards},
             "resumed_rows": self.resumed_rows,
             "failed_rows": self.failed_rows,

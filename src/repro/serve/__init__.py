@@ -1,0 +1,40 @@
+"""The evaluation service: versioned request API + asyncio HTTP daemon.
+
+* :mod:`repro.serve.schema`  -- the **v1** request/response dataclasses
+  and validation shared by the CLI subcommands and the HTTP endpoints
+  (one validator, one error message, both surfaces);
+* :mod:`repro.serve.service` -- :class:`EvaluationService`: single-flight
+  coalescing of identical scenario requests, the ``scenario-rows`` memo
+  fast path, micro-batched checks, sweep jobs streaming JSONL rows, and
+  p50/p99 latency counters;
+* :mod:`repro.serve.http`    -- the stdlib asyncio HTTP/1.1 server
+  (``python -m repro serve``);
+* :mod:`repro.serve.smoke`   -- the concurrent asyncio client harness CI
+  runs against a live daemon (``python -m repro.serve.smoke``).
+"""
+
+from .schema import (
+    SCHEMA_VERSION,
+    SERVED_FROM,
+    CheckRequest,
+    CheckResponse,
+    RequestError,
+    ScenarioRequest,
+    ScenarioResponse,
+    SweepRequest,
+)
+from .service import EvaluationService, execute_check, execute_scenario
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SERVED_FROM",
+    "CheckRequest",
+    "CheckResponse",
+    "EvaluationService",
+    "RequestError",
+    "ScenarioRequest",
+    "ScenarioResponse",
+    "SweepRequest",
+    "execute_check",
+    "execute_scenario",
+]

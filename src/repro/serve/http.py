@@ -1,0 +1,241 @@
+"""The asyncio HTTP daemon: ``python -m repro serve``.
+
+A deliberately small stdlib-only HTTP/1.1 server (``asyncio``'s stream
+API, no third-party web framework) mounting the v1 endpoints over
+:class:`~repro.serve.service.EvaluationService`:
+
+========  ========================  =====================================
+method    path                      body / response
+========  ========================  =====================================
+POST      ``/v1/check``             :class:`CheckRequest` -> check verdict
+POST      ``/v1/scenario``          :class:`ScenarioRequest` -> row +
+                                    ``served_from`` provenance
+POST      ``/v1/sweep``             :class:`SweepRequest` -> 202 + job id
+GET       ``/v1/jobs/{id}``         job state, progress, final report
+GET       ``/v1/jobs/{id}/rows``    the job's JSONL row stream so far
+GET       ``/v1/stats``             latency percentiles + store counters
+GET       ``/v1/healthz``           liveness probe
+========  ========================  =====================================
+
+Error contract: a :class:`~repro.serve.schema.RequestError` -- the same
+validation the CLI runs -- answers **400** with the structured
+``{"error": {"schema", "message", "field"?}}`` body; unknown routes
+404, wrong methods 405, anything else 500 with ``{"error": {"type",
+"message"}}`` (never a traceback on the wire).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+
+from .schema import SCHEMA_VERSION, RequestError
+from .service import EvaluationService
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            500: "Internal Server Error"}
+
+_JOB_PATH = re.compile(r"^/v1/jobs/(?P<job_id>[0-9a-f]+)"
+                       r"(?P<rows>/rows)?$")
+
+#: request bodies past this size are rejected up front (64 MiB)
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _json_body(body: bytes) -> dict:
+    if not body:
+        return {}
+    try:
+        return json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise RequestError(f"request body must be JSON: {exc}") from exc
+
+
+class ReproServer:
+    """One bound server around one :class:`EvaluationService`."""
+
+    def __init__(self, service: EvaluationService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- wire protocol ------------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break
+                try:
+                    method, target, _version = \
+                        request_line.decode("ascii").split()
+                except (UnicodeDecodeError, ValueError):
+                    self._write(writer, 400, json.dumps(
+                        {"error": {"schema": SCHEMA_VERSION,
+                                   "message": "malformed request line"}}
+                    ).encode())
+                    break
+                headers = await self._read_headers(reader)
+                if headers is None:
+                    break
+                length = int(headers.get("content-length", "0") or "0")
+                if length > MAX_BODY_BYTES:
+                    self._write(writer, 400, json.dumps(
+                        {"error": {"schema": SCHEMA_VERSION,
+                                   "message": "request body too large"}}
+                    ).encode())
+                    break
+                body = await reader.readexactly(length) if length else b""
+                status, blob, content_type = await self.dispatch(
+                    method, target.split("?", 1)[0], body)
+                self._write(writer, status, blob, content_type)
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _read_headers(reader) -> dict | None:
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line:
+                return None
+            if line in (b"\r\n", b"\n"):
+                return headers
+            try:
+                name, _, value = line.decode("latin-1").partition(":")
+            except UnicodeDecodeError:  # pragma: no cover
+                continue
+            headers[name.strip().lower()] = value.strip()
+
+    @staticmethod
+    def _write(writer, status: int, blob: bytes,
+               content_type: str = "application/json") -> None:
+        head = (f"HTTP/1.1 {status} {_REASONS[status]}\r\n"
+                f"content-type: {content_type}\r\n"
+                f"content-length: {len(blob)}\r\n"
+                "connection: keep-alive\r\n\r\n")
+        writer.write(head.encode("ascii") + blob)
+
+    # -- routing ------------------------------------------------------------
+
+    async def dispatch(self, method: str, path: str,
+                       body: bytes) -> tuple[int, bytes, str]:
+        """Route one request; always returns a (status, body, type)."""
+        try:
+            status, payload = await self._route(method, path, body)
+        except RequestError as exc:
+            status, payload = 400, exc.payload()
+        except Exception as exc:  # no tracebacks on the wire
+            status, payload = 500, {"error": {"schema": SCHEMA_VERSION,
+                                              "type": type(exc).__name__,
+                                              "message": str(exc)}}
+        if isinstance(payload, bytes):
+            return status, payload, "application/x-ndjson"
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return status, blob, "application/json"
+
+    async def _route(self, method: str, path: str, body: bytes):
+        from .schema import CheckRequest, ScenarioRequest, SweepRequest
+
+        post_routes = {
+            "/v1/check": (CheckRequest, self.service.check, 200),
+            "/v1/scenario": (ScenarioRequest, self.service.scenario,
+                             200),
+        }
+        if path in post_routes:
+            request_cls, handler, status = post_routes[path]
+            if method != "POST":
+                return 405, self._error(f"{path} requires POST")
+            response = await handler(request_cls.from_dict(
+                _json_body(body)))
+            return status, response.to_dict()
+        if path == "/v1/sweep":
+            if method != "POST":
+                return 405, self._error("/v1/sweep requires POST")
+            return 202, await self.service.submit_sweep(
+                SweepRequest.from_dict(_json_body(body)))
+        job = _JOB_PATH.match(path)
+        if job is not None:
+            if method != "GET":
+                return 405, self._error(f"{path} requires GET")
+            job_id = job.group("job_id")
+            if job.group("rows"):
+                rows = self.service.job_rows(job_id)
+                if rows is None:
+                    return 404, self._error(f"unknown job {job_id!r}")
+                return 200, rows.encode("utf-8")
+            payload = self.service.job_payload(job_id)
+            if payload is None:
+                return 404, self._error(f"unknown job {job_id!r}")
+            return 200, payload
+        if path == "/v1/stats":
+            if method != "GET":
+                return 405, self._error("/v1/stats requires GET")
+            return 200, self.service.stats_payload()
+        if path == "/v1/healthz":
+            if method != "GET":
+                return 405, self._error("/v1/healthz requires GET")
+            return 200, {"schema": SCHEMA_VERSION, "ok": True}
+        return 404, self._error(f"no route for {method} {path}")
+
+    @staticmethod
+    def _error(message: str) -> dict:
+        return {"error": {"schema": SCHEMA_VERSION, "message": message}}
+
+
+async def serve(host: str = "127.0.0.1", port: int = 8321,
+                workers: int | None = None,
+                spool_dir: str | None = None,
+                announce=print) -> None:
+    """Run the daemon until cancelled (the ``repro serve`` entry point).
+
+    ``port=0`` binds an ephemeral port; the announced URL (printed and
+    flushed before serving) is the machine-readable hand-off the smoke
+    harness and scripts parse.
+    """
+    service = EvaluationService(workers=workers, spool_dir=spool_dir)
+    server = ReproServer(service, host=host, port=port)
+    await server.start()
+    announce(f"repro serve listening on http://{host}:{server.port} "
+             f"(schema {SCHEMA_VERSION}, {service.workers} workers)",
+             flush=True)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.close()
+
+
+__all__ = ["MAX_BODY_BYTES", "ReproServer", "serve"]

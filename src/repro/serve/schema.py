@@ -1,0 +1,478 @@
+"""Versioned request/response schema: the typed boundary of the service.
+
+Every evaluation entry point -- the ``python -m repro`` subcommands and
+the ``repro serve`` HTTP daemon -- speaks the same **v1** request
+dataclasses defined here.  The CLI parses its flags into them; the
+daemon deserializes JSON bodies into them; validation lives on the
+dataclasses, so a malformed request is rejected with the *same message*
+on both surfaces (the CLI prints ``error: <message>`` and exits 2, the
+daemon answers a structured 400 body via :meth:`RequestError.payload`).
+
+Version policy: ``SCHEMA_VERSION`` names the request/response contract,
+and every endpoint path and response body carries it (``/v1/...``,
+``"schema": "v1"``).  Additive, default-carrying fields may land within
+``v1``; renaming or re-typing a field, changing a default, or changing
+an error contract bumps the version and mounts the new endpoints next
+to the old ones.
+
+Requests:
+
+* :class:`CheckRequest`    -- syntax-check one Verilog source;
+* :class:`ScenarioRequest` -- run one scenario (a built-in case with
+  protocol knobs, or a full spec tree) end-to-end;
+* :class:`SweepRequest`    -- grid a scenario over axes (or the legacy
+  case x poison x seed grid); served as a streaming job by the daemon.
+
+Responses are plain dataclasses with ``to_dict()``; scenario responses
+carry cache provenance in ``served_from``
+(``memo`` | ``computed`` | ``joined``, see :data:`SERVED_FROM`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+#: the request/response contract version, spelled into every endpoint
+#: path and response body
+SCHEMA_VERSION = "v1"
+
+#: cache provenance of a scenario row: served from the ``scenario-rows``
+#: store namespace, computed by this request, or joined onto another
+#: in-flight computation of the same spec digest (single-flight)
+SERVED_FROM = ("memo", "computed", "joined")
+
+
+class RequestError(ValueError):
+    """A malformed request, rejected identically by CLI and HTTP.
+
+    The CLI prints ``error: {message}``; the daemon returns a 400 with
+    :meth:`payload` as the body -- one validator, one message.
+    """
+
+    def __init__(self, message: str, *, field: str | None = None):
+        super().__init__(message)
+        self.field = field
+
+    def payload(self) -> dict:
+        """The structured 400 body."""
+        error = {"schema": SCHEMA_VERSION, "message": str(self)}
+        if self.field is not None:
+            error["field"] = self.field
+        return {"error": error}
+
+
+def _require_mapping(data, what: str) -> dict:
+    if not isinstance(data, Mapping):
+        raise RequestError(f"{what} must be a JSON object, got "
+                           f"{type(data).__name__}")
+    return dict(data)
+
+
+def _reject_unknown(data: dict, known: set, what: str) -> None:
+    unknown = set(data) - known
+    if unknown:
+        raise RequestError(f"unknown {what} fields {sorted(unknown)}; "
+                           f"known: {sorted(known)}")
+
+
+def _require_bool(value, field_name: str) -> None:
+    if not isinstance(value, bool):
+        raise RequestError(f"{field_name!r} must be a boolean, got "
+                           f"{value!r}", field=field_name)
+
+
+def _require_optional_int(value, field_name: str) -> None:
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(f"{field_name!r} must be an integer, got "
+                           f"{value!r}", field=field_name)
+
+
+def validate_axes(axes) -> dict:
+    """Shared axes validation (same messages as scenario-file loading)."""
+    if not isinstance(axes, Mapping):
+        raise RequestError(f"axes must be a dict of lists, got {axes!r}",
+                           field="axes")
+    for axis_path, values in axes.items():
+        if not isinstance(values, list) or not values:
+            raise RequestError(f"axis {axis_path!r} must map to a "
+                               "non-empty list", field="axes")
+    return dict(axes)
+
+
+def _parse_spec(tree):
+    """A scenario tree -> ScenarioSpec, re-raised as a RequestError."""
+    from ..scenarios.spec import ScenarioSpec
+
+    tree = _require_mapping(tree, "'scenario'")
+    try:
+        return ScenarioSpec.from_dict(tree)
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"invalid scenario: {exc}",
+                           field="scenario") from exc
+
+
+def _split_scenario_payload(data) -> tuple[dict, dict | None]:
+    """A scenario file's content -- bare spec or ``{"scenario", "axes"}``
+    wrapper -- as a ``(spec_tree, axes_or_None)`` pair."""
+    data = _require_mapping(data, "scenario payload")
+    if "scenario" in data:
+        _reject_unknown(data, {"scenario", "axes"}, "scenario-file")
+        return (_require_mapping(data["scenario"], "'scenario'"),
+                data.get("axes"))
+    return data, None
+
+
+# -- requests ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CheckRequest:
+    """Syntax-check one Verilog source (``POST /v1/check``)."""
+
+    source: str
+    strict: bool = False
+
+    def __post_init__(self):
+        if not isinstance(self.source, str):
+            raise RequestError("'source' must be a string, got "
+                               f"{type(self.source).__name__}",
+                               field="source")
+        _require_bool(self.strict, "strict")
+
+    @classmethod
+    def from_dict(cls, data) -> "CheckRequest":
+        data = _require_mapping(data, "check request")
+        _reject_unknown(data, {"source", "strict"}, "check request")
+        if "source" not in data:
+            raise RequestError("check request needs a 'source' string",
+                               field="source")
+        return cls(source=data["source"],
+                   strict=data.get("strict", False))
+
+    def to_dict(self) -> dict:
+        return {"source": self.source, "strict": self.strict}
+
+
+#: documented protocol defaults shared by the CLI and the HTTP surface
+SCENARIO_DEFAULTS = {"poison_count": 5, "seed": 1,
+                     "samples_per_family": 95, "n": 10}
+
+#: schema field -> the CLI flag it surfaces as (used in notices, so the
+#: two surfaces print identical text)
+_SCENARIO_FLAGS = (("n", "-n"), ("poison_count", "--poison-count"),
+                   ("seed", "--seed"),
+                   ("samples_per_family", "--samples-per-family"))
+
+
+@dataclass(frozen=True)
+class ScenarioRequest:
+    """Run one scenario end-to-end (``POST /v1/scenario``).
+
+    Exactly one of ``case`` (a built-in case study, with the protocol
+    knobs below) or ``scenario`` (a full spec tree) must be given.
+    In scenario mode the protocol knobs are *ignored with a notice* --
+    the spec tree defines its own protocol; ``axes`` (a scenario file's
+    sweep section) is likewise ignored with a pointer at the sweep
+    endpoint.  ``memo=False`` forces recomputation even when the row is
+    memoized in the ``scenario-rows`` store namespace.
+    """
+
+    scenario: dict | None = None
+    case: str | None = None
+    poison_count: int | None = None
+    seed: int | None = None
+    samples_per_family: int | None = None
+    n: int | None = None
+    memo: bool = True
+    #: sweep axes carried by a scenario file; ignored here with a notice
+    axes: dict | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if (self.scenario is None) == (self.case is None):
+            raise RequestError("scenario request needs exactly one of "
+                               "'case' or 'scenario'")
+        if self.case is not None:
+            from ..scenarios import BUILTIN_CASES
+
+            if self.case not in BUILTIN_CASES:
+                raise RequestError(
+                    f"unknown case {self.case!r}; known: "
+                    f"{list(BUILTIN_CASES)}", field="case")
+        for field_name, _ in _SCENARIO_FLAGS:
+            _require_optional_int(getattr(self, field_name), field_name)
+        _require_bool(self.memo, "memo")
+        if self.scenario is not None:
+            self.spec()  # validate the tree eagerly
+
+    @classmethod
+    def from_dict(cls, data) -> "ScenarioRequest":
+        data = _require_mapping(data, "scenario request")
+        known = {"scenario", "case", "memo", "axes",
+                 *SCENARIO_DEFAULTS}
+        _reject_unknown(data, known, "scenario request")
+        return cls(**data)
+
+    @classmethod
+    def from_scenario_payload(cls, data, **fields) -> "ScenarioRequest":
+        """A scenario *file*'s content (bare spec or wrapper) plus the
+        CLI's protocol fields."""
+        tree, axes = _split_scenario_payload(data)
+        return cls(scenario=tree, axes=axes, **fields)
+
+    def resolved(self, field_name: str) -> int:
+        """A protocol knob with the documented default applied."""
+        value = getattr(self, field_name)
+        return SCENARIO_DEFAULTS[field_name] if value is None else value
+
+    def spec(self):
+        """The fully-resolved :class:`ScenarioSpec` this request names."""
+        if self.scenario is not None:
+            return _parse_spec(self.scenario)
+        from ..scenarios import MeasurementSpec, builtin_spec
+
+        return builtin_spec(
+            self.case,
+            poison_count=self.resolved("poison_count"),
+            seed=self.resolved("seed"),
+            samples_per_family=self.resolved("samples_per_family"),
+            measurement=MeasurementSpec(n=self.resolved("n")))
+
+    def notices(self) -> list[str]:
+        """Human-readable warnings about ignored fields (never errors)."""
+        if self.scenario is None:
+            return []
+        notes = []
+        ignored = [flag for field_name, flag in _SCENARIO_FLAGS
+                   if getattr(self, field_name) is not None]
+        if ignored:
+            notes.append(f"ignoring {', '.join(ignored)} -- the "
+                         "scenario file defines its own protocol")
+        if self.axes:
+            notes.append(f"ignoring sweep axes {sorted(self.axes)} "
+                         "(use `repro sweep --scenario` to grid over "
+                         "them)")
+        return notes
+
+    def to_dict(self) -> dict:
+        out = {"memo": self.memo}
+        if self.scenario is not None:
+            out["scenario"] = dict(self.scenario)
+        if self.case is not None:
+            out["case"] = self.case
+        for field_name in SCENARIO_DEFAULTS:
+            value = getattr(self, field_name)
+            if value is not None:
+                out[field_name] = value
+        return out
+
+
+#: grid-shaping fields that contradict a scenario (its axes are the
+#: grid) -- a hard error, same message on both surfaces
+_SWEEP_GRID_FLAGS = (("cases", "--case"),
+                     ("poison_counts", "--poison-counts"),
+                     ("seeds", "--seeds"))
+
+#: protocol fields merely ignored in scenario mode, with a notice
+_SWEEP_PROTOCOL_FLAGS = (("n", "-n"),
+                         ("eval_problems", "--eval-problems"),
+                         ("samples_per_family", "--samples-per-family"))
+
+SWEEP_DEFAULTS = {"cases": ("cs5_code_structure",),
+                  "poison_counts": (5,), "seeds": (1,),
+                  "samples_per_family": 95, "n": 10, "eval_problems": 0}
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """Grid a scenario (``POST /v1/sweep``; a streaming job under the
+    daemon, the ``repro sweep`` grid on the CLI).
+
+    Either a ``scenario`` tree (optionally with ``axes``) or the legacy
+    ``cases`` x ``poison_counts`` x ``seeds`` grid.  Mixing the two is
+    the classic malformed request: grid-shaping fields alongside a
+    scenario are a hard :class:`RequestError` (the scenario's axes
+    *are* the grid), with one message shared verbatim by the CLI and
+    the HTTP 400 body.
+    """
+
+    scenario: dict | None = None
+    axes: dict | None = None
+    cases: tuple | None = None
+    poison_counts: tuple | None = None
+    seeds: tuple | None = None
+    samples_per_family: int | None = None
+    n: int | None = None
+    eval_problems: int | None = None
+
+    def __post_init__(self):
+        if self.scenario is not None:
+            conflicting = [flag for field_name, flag in _SWEEP_GRID_FLAGS
+                           if getattr(self, field_name) is not None]
+            if conflicting:
+                raise RequestError(
+                    f"{', '.join(conflicting)} conflicts with "
+                    "--scenario -- the scenario file defines its own "
+                    "grid (add an 'axes' entry to the file instead)")
+            _parse_spec(self.scenario)
+            if self.axes is not None:
+                base = _parse_spec(self.scenario)
+                from ..scenarios.spec import apply_axis
+
+                for path, values in validate_axes(self.axes).items():
+                    try:
+                        apply_axis(base, path, values[0])
+                    except ValueError as exc:
+                        raise RequestError(str(exc),
+                                           field="axes") from exc
+        else:
+            if self.axes is not None:
+                raise RequestError("'axes' requires a 'scenario'",
+                                   field="axes")
+            if self.cases is not None:
+                from ..scenarios import BUILTIN_CASES
+
+                for case in self.cases:
+                    if case not in BUILTIN_CASES:
+                        raise RequestError(
+                            f"unknown case {case!r}; known: "
+                            f"{list(BUILTIN_CASES)}", field="cases")
+        for field_name in ("samples_per_family", "n", "eval_problems"):
+            _require_optional_int(getattr(self, field_name), field_name)
+
+    @classmethod
+    def from_dict(cls, data) -> "SweepRequest":
+        data = _require_mapping(data, "sweep request")
+        known = {"scenario", "axes", "cases", "poison_counts", "seeds",
+                 "samples_per_family", "n", "eval_problems"}
+        _reject_unknown(data, known, "sweep request")
+        for list_field in ("cases", "poison_counts", "seeds"):
+            if list_field in data and data[list_field] is not None:
+                value = data[list_field]
+                if not isinstance(value, (list, tuple)) or not value:
+                    raise RequestError(
+                        f"{list_field!r} must be a non-empty list, got "
+                        f"{value!r}", field=list_field)
+                data[list_field] = tuple(value)
+        return cls(**data)
+
+    @classmethod
+    def from_scenario_payload(cls, data, **fields) -> "SweepRequest":
+        """A scenario *file*'s content (bare spec or wrapper) plus the
+        CLI's grid/protocol fields."""
+        tree, axes = _split_scenario_payload(data)
+        return cls(scenario=tree, axes=axes, **fields)
+
+    def notices(self) -> list[str]:
+        if self.scenario is None:
+            return []
+        ignored = [flag for field_name, flag in _SWEEP_PROTOCOL_FLAGS
+                   if getattr(self, field_name) is not None]
+        if not ignored:
+            return []
+        return [f"ignoring {', '.join(ignored)} -- the scenario file "
+                "defines its own protocol"]
+
+    def sweep_config(self):
+        """The validated request as a runnable
+        :class:`~repro.pipeline.runner.SweepConfig`."""
+        from ..pipeline.runner import SweepConfig
+
+        if self.scenario is not None:
+            return SweepConfig(scenario=_parse_spec(self.scenario),
+                               axes=dict(self.axes or {}))
+
+        def resolved(field_name):
+            value = getattr(self, field_name)
+            return SWEEP_DEFAULTS[field_name] if value is None else value
+
+        return SweepConfig(
+            cases=tuple(resolved("cases")),
+            poison_counts=tuple(resolved("poison_counts")),
+            seeds=tuple(resolved("seeds")),
+            samples_per_family=resolved("samples_per_family"),
+            n=resolved("n"),
+            eval_problems=resolved("eval_problems"))
+
+    def to_dict(self) -> dict:
+        out = {}
+        if self.scenario is not None:
+            out["scenario"] = dict(self.scenario)
+        if self.axes is not None:
+            out["axes"] = dict(self.axes)
+        for field_name in ("cases", "poison_counts", "seeds"):
+            value = getattr(self, field_name)
+            if value is not None:
+                out[field_name] = list(value)
+        for field_name in ("samples_per_family", "n", "eval_problems"):
+            value = getattr(self, field_name)
+            if value is not None:
+                out[field_name] = value
+        return out
+
+
+# -- responses --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CheckResponse:
+    """Outcome of a :class:`CheckRequest`."""
+
+    ok: bool
+    errors: tuple = ()
+    warnings: tuple = ()
+
+    def to_dict(self) -> dict:
+        return {"schema": SCHEMA_VERSION, "ok": self.ok,
+                "errors": list(self.errors),
+                "warnings": list(self.warnings)}
+
+
+@dataclass(frozen=True)
+class ScenarioResponse:
+    """Outcome of a :class:`ScenarioRequest`.
+
+    ``row`` and ``defense_stats`` are byte-identical to what a direct
+    :func:`repro.scenarios.run_scenario` call produces for the same
+    spec; ``served_from`` records how the service got them.
+    """
+
+    case: str
+    digest: str
+    served_from: str
+    row: dict
+    defense_stats: tuple = ()
+    notices: tuple = ()
+
+    def __post_init__(self):
+        if self.served_from not in SERVED_FROM:
+            raise ValueError(f"served_from must be one of {SERVED_FROM},"
+                             f" got {self.served_from!r}")
+
+    def joined(self) -> "ScenarioResponse":
+        """This response as seen by a coalesced (single-flight) joiner."""
+        return replace(self, served_from="joined")
+
+    def to_dict(self) -> dict:
+        return {"schema": SCHEMA_VERSION, "case": self.case,
+                "digest": self.digest, "served_from": self.served_from,
+                "row": self.row,
+                "defense_stats": list(self.defense_stats),
+                "notices": list(self.notices)}
+
+
+__all__ = [
+    "SCENARIO_DEFAULTS",
+    "SCHEMA_VERSION",
+    "SERVED_FROM",
+    "SWEEP_DEFAULTS",
+    "CheckRequest",
+    "CheckResponse",
+    "RequestError",
+    "ScenarioRequest",
+    "ScenarioResponse",
+    "SweepRequest",
+    "validate_axes",
+]

@@ -23,6 +23,7 @@ from .artifact import (
     ArtifactStore,
     artifact_store,
     content_key,
+    counters_payload,
     reset_artifact_store,
     store_counters_delta,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "ArtifactStore",
     "artifact_store",
     "content_key",
+    "counters_payload",
     "reset_artifact_store",
     "store_counters_delta",
 ]

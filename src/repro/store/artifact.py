@@ -438,6 +438,24 @@ def reset_artifact_store() -> None:
     _store_resolved = False
 
 
+def counters_payload(counters: dict, *, enabled: bool | None = None) -> dict:
+    """Per-namespace counters as the uniform ``artifact_store`` report
+    block -- the one shape sweep reports (batch mode) and the serve
+    daemon's ``GET /v1/stats`` (service mode) both emit, so store
+    hit/miss accounting reads identically everywhere.
+
+    ``enabled`` defaults to "any counters present" (the sweep-report
+    convention, where counters are per-run deltas); a live service
+    passes the store's actual activation state so an idle-but-active
+    store still reports ``enabled: true``.
+    """
+    return {
+        "enabled": bool(counters) if enabled is None else enabled,
+        "namespaces": {namespace: dict(counts) for namespace, counts
+                       in sorted(counters.items())},
+    }
+
+
 def store_counters_delta(before: dict, after: dict) -> dict:
     """Per-namespace counter difference between two snapshots."""
     delta: dict[str, dict[str, int]] = {}
