@@ -159,17 +159,22 @@ def run_sweep_task(task: SweepTask) -> dict:
     a thin shim over :func:`repro.scenarios.runtime.run_scenario`.
     """
     from ..scenarios.runtime import run_scenario
+    from ..vereval.testbench import lane_counters
 
     cache = generation_cache()
     before = cache.stats()
     store = artifact_store()
     store_before = store.counters_snapshot() if store else {}
+    lanes_before = lane_counters()
     outcome = run_scenario(task.spec)
     row = outcome.row
     if task.axis:
         row = dict(row)
         row["axes"] = {path: value for path, value in task.axis}
     after = cache.stats()
+    lanes_after = lane_counters()
+    lanes = {key: lanes_after[key] - lanes_before[key]
+             for key in lanes_after}
     return {
         "row": row,
         "cache": {
@@ -180,6 +185,8 @@ def run_sweep_task(task: SweepTask) -> dict:
         "store": (store_counters_delta(store_before,
                                        store.counters_snapshot())
                   if store else {}),
+        # vector-backend lane utilization (all-zero on scalar backends)
+        "lanes": lanes if any(lanes.values()) else {},
     }
 
 
@@ -200,7 +207,8 @@ def failure_payload(task: SweepTask, failure: TaskFailure) -> dict:
     row["error"] = failure.as_dict()
     return {"row": row,
             "cache": {"hits": 0, "disk_hits": 0, "misses": 0},
-            "store": {}}
+            "store": {},
+            "lanes": {}}
 
 
 @dataclass
@@ -217,6 +225,8 @@ class SweepReport:
     cache_disk_hits: int = 0
     #: summed per-namespace artifact-store counters ({} = store off)
     store_counters: dict = field(default_factory=dict)
+    #: summed vector-backend lane utilization ({} = scalar backends)
+    lane_counters: dict = field(default_factory=dict)
     #: grid points served from the resume stream instead of re-running
     resumed_rows: int = 0
     #: grid points that raised and landed as error rows
@@ -274,6 +284,11 @@ class SweepReport:
             # the same counters block the serve daemon's /v1/stats
             # emits, so batch and service modes report identically
             "artifact_store": counters_payload(self.store_counters),
+            # lane utilization of the vector simulation backend, in the
+            # same uniform counters shape ({} = scalar backends only)
+            "sim_lanes": counters_payload(
+                {"testbench": self.lane_counters}
+                if self.lane_counters else {}),
             "executor": {"kind": self.executor, "shards": self.shards},
             "resumed_rows": self.resumed_rows,
             "failed_rows": self.failed_rows,
@@ -353,7 +368,9 @@ class ExperimentRunner:
                 continue
             preloaded[index] = {"row": entry["row"],
                                 "cache": entry["cache"],
-                                "store": entry["store"]}
+                                "store": entry["store"],
+                                # absent on streams from older runs
+                                "lanes": entry.get("lanes", {})}
         return preloaded
 
     def run(self) -> SweepReport:
@@ -401,11 +418,14 @@ class ExperimentRunner:
             payloads[index] = payload
         elapsed = time.perf_counter() - start
         store_counters: dict[str, dict[str, int]] = {}
+        lane_totals: dict[str, int] = {}
         for payload in payloads:
             for namespace, counts in payload.get("store", {}).items():
                 bucket = store_counters.setdefault(namespace, {})
                 for metric, value in counts.items():
                     bucket[metric] = bucket.get(metric, 0) + value
+            for metric, value in payload.get("lanes", {}).items():
+                lane_totals[metric] = lane_totals.get(metric, 0) + value
         return SweepReport(
             config=self.config,
             rows=[p["row"] for p in payloads],
@@ -417,6 +437,7 @@ class ExperimentRunner:
             cache_disk_hits=sum(p["cache"]["disk_hits"]
                                 for p in payloads),
             store_counters=store_counters,
+            lane_counters=lane_totals,
             resumed_rows=len(preloaded),
             failed_rows=failed,
         )

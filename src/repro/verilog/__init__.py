@@ -21,6 +21,7 @@ from .simulator import (
     SimulationError,
     Simulator,
     get_default_backend,
+    resolve_backend,
     set_default_backend,
     simulate,
     simulate_many,
@@ -54,6 +55,7 @@ __all__ = [
     "identifier_frequencies",
     "parse",
     "parse_module",
+    "resolve_backend",
     "set_default_backend",
     "simulate",
     "simulate_many",

@@ -16,6 +16,7 @@ their testbench, exactly as on a real simulator.
 
 from __future__ import annotations
 
+import math
 import os
 
 from .ast_nodes import (
@@ -52,9 +53,11 @@ class SimulationError(RuntimeError):
 
 #: Recognised simulation backends.  ``interp`` is the AST-walking
 #: reference implementation below; ``compiled`` lowers each process to
-#: Python closures once (see :mod:`repro.verilog.compile`) and is
+#: Python closures once (see :mod:`repro.verilog.compile`); ``vector``
+#: packs N independent stimulus lanes into wide ints on top of the same
+#: lowering strategy (see :mod:`repro.verilog.vector`).  All three are
 #: differentially tested to produce bit-identical four-state results.
-BACKENDS = ("interp", "compiled")
+BACKENDS = ("interp", "compiled", "vector")
 
 _ENV_BACKEND = "REPRO_SIM_BACKEND"
 _default_backend: str | None = None
@@ -111,20 +114,29 @@ class Simulator:
     :meth:`clock_pulse`, :meth:`settle`, :meth:`read_memory`.
 
     ``Simulator(design)`` itself is the AST-interpreting reference
-    backend; constructing with ``backend="compiled"`` (or setting the
-    ``REPRO_SIM_BACKEND`` environment variable / calling
-    :func:`set_default_backend`) transparently returns the
-    closure-compiled backend from :mod:`repro.verilog.compile`, which
-    implements the same public API and the same four-state semantics.
+    backend; constructing with ``backend="compiled"`` or
+    ``backend="vector"`` (or setting the ``REPRO_SIM_BACKEND``
+    environment variable / calling :func:`set_default_backend`)
+    transparently returns the closure-compiled backend from
+    :mod:`repro.verilog.compile` or the lane-parallel backend from
+    :mod:`repro.verilog.vector`, which implement the same public API
+    and the same four-state semantics.
     """
 
     #: Backend name reported by instances of this class.
     backend = "interp"
 
-    def __new__(cls, design: FlatDesign, backend: str | None = None):
-        if cls is Simulator and resolve_backend(backend) == "compiled":
-            from .compile import CompiledSimulator
-            return object.__new__(CompiledSimulator)
+    def __new__(cls, design: FlatDesign, backend: str | None = None, **_kw):
+        # **_kw passes through subclass-only keywords (e.g. the vector
+        # backend's ``lanes``) without tripping object.__new__.
+        if cls is Simulator:
+            resolved = resolve_backend(backend)
+            if resolved == "compiled":
+                from .compile import CompiledSimulator
+                return object.__new__(CompiledSimulator)
+            if resolved == "vector":
+                from .vector import VectorSimulator
+                return object.__new__(VectorSimulator)
         return object.__new__(cls)
 
     def __init__(self, design: FlatDesign, backend: str | None = None):
@@ -653,7 +665,6 @@ class Simulator:
                 expr.args[0], Number) else self._eval_index(expr.args[0])
             if value is None:
                 raise SimulationError("$clog2 of X value")
-            import math
             result = 0 if value <= 1 else int(math.ceil(math.log2(value)))
             return FourState.from_int(result, 32)
         if expr.name in ("$signed", "$unsigned"):

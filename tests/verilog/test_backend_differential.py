@@ -1,11 +1,15 @@
-"""Differential testing: interpreted vs compiled simulation backends.
+"""Differential testing: interpreted vs compiled vs vector backends.
 
-The compiled backend (``repro.verilog.compile``) must be observationally
+The compiled backend (``repro.verilog.compile``) and the lane-parallel
+vector backend (``repro.verilog.vector``) must be observationally
 identical to the AST-interpreting reference backend: bit-identical
 four-state values on every signal after every stimulus step, across the
 whole design-family catalog under randomized stimulus, and identical
-error behaviour.  These tests are the contract that lets everything
-above the ``Simulator`` API switch backends freely.
+error behaviour.  For the vector backend the contract extends to every
+lane: an N-lane simulator driven with N distinct stimulus sequences
+must match N independent interpreter runs lane for lane.  These tests
+are the contract that lets everything above the ``Simulator`` API
+switch backends freely.
 """
 
 import random
@@ -17,45 +21,94 @@ from repro.verilog.elaborate import elaborate
 from repro.verilog.parser import parse
 from repro.verilog.simulator import Simulator, simulate
 from repro.verilog.values import FourState
+from repro.verilog.vector import VectorSimulator
 
 STEPS = 25
+LANES = 3
 
 
-def _build_pair(code: str, top: str | None = None):
-    """One shared elaboration, one simulator per backend."""
+def _build_trio(code: str, top: str | None = None):
+    """One shared elaboration, one simulator per backend (vector at a
+    single lane, constructed through the backend registry)."""
     design = elaborate(parse(code), top=top)
     return (Simulator(design, backend="interp"),
-            Simulator(design, backend="compiled"))
+            Simulator(design, backend="compiled"),
+            Simulator(design, backend="vector"))
 
 
-def _assert_same_state(interp, compiled, context: str) -> None:
-    assert interp.state == compiled.state, (
-        f"{context}: signal state diverged: "
-        f"{ {k: (str(v), str(compiled.state[k])) for k, v in interp.state.items() if compiled.state[k] != v} }"
-    )
-    assert interp.memories == compiled.memories, (
-        f"{context}: memory state diverged"
-    )
+def _assert_same_state(sims, context: str) -> None:
+    ref_state = sims[0].state
+    for sim in sims[1:]:
+        state = sim.state
+        diverged = {k: (str(v), str(state[k]))
+                    for k, v in ref_state.items() if state[k] != v}
+        assert not diverged, (
+            f"{context}: signal state diverged on {sim.backend}: {diverged}"
+        )
+        assert sims[0].memories == sim.memories, (
+            f"{context}: memory state diverged on {sim.backend}"
+        )
 
 
-def _drive_random(interp, compiled, seed: int, context: str) -> None:
-    """Apply identical random stimulus to both backends, comparing the
+def _drive_random(sims, seed: int, context: str) -> None:
+    """Apply identical random stimulus to all backends, comparing the
     full four-state trace (every signal, every step)."""
-    design = interp.design
+    design = sims[0].design
     inputs = [n for n in design.inputs if n != "clk"]
     widths = {n: design.signal(n).width for n in inputs}
     has_clock = "clk" in design.inputs
     rng = random.Random(seed)
-    _assert_same_state(interp, compiled, f"{context} @init")
+    _assert_same_state(sims, f"{context} @init")
     for step in range(STEPS):
         vector = {n: rng.randrange(1 << widths[n]) for n in inputs}
-        interp.poke_many(vector)
-        compiled.poke_many(vector)
-        _assert_same_state(interp, compiled, f"{context} @step{step}")
+        for sim in sims:
+            sim.poke_many(vector)
+        _assert_same_state(sims, f"{context} @step{step}")
         if has_clock:
-            interp.clock_pulse()
-            compiled.clock_pulse()
-            _assert_same_state(interp, compiled, f"{context} @clk{step}")
+            for sim in sims:
+                sim.clock_pulse()
+            _assert_same_state(sims, f"{context} @clk{step}")
+
+
+def _assert_lanes_match(scalars, vec, context: str) -> None:
+    for lane, scalar in enumerate(scalars):
+        lane_state = vec.state_lane(lane)
+        diverged = {k: (str(v), str(lane_state[k]))
+                    for k, v in scalar.state.items() if lane_state[k] != v}
+        assert not diverged, (
+            f"{context}: lane {lane} signal state diverged: {diverged}"
+        )
+        assert scalar.memories == vec.memories_lane(lane), (
+            f"{context}: lane {lane} memory state diverged"
+        )
+
+
+def _drive_random_lanes(design, seed: int, context: str) -> None:
+    """Drive an N-lane vector simulator with N *distinct* random
+    stimulus sequences and compare every lane against its own
+    interpreter run, every signal, every step."""
+    inputs = [n for n in design.inputs if n != "clk"]
+    widths = {n: design.signal(n).width for n in inputs}
+    has_clock = "clk" in design.inputs
+    scalars = [Simulator(design, backend="interp") for _ in range(LANES)]
+    vec = VectorSimulator(design, lanes=LANES)
+    rngs = [random.Random(seed + 1000 * lane) for lane in range(LANES)]
+    _assert_lanes_match(scalars, vec, f"{context} @init")
+    for step in range(STEPS):
+        lane_vals = {
+            n: [rngs[lane].randrange(1 << widths[n])
+                for lane in range(LANES)]
+            for n in inputs
+        }
+        for lane, scalar in enumerate(scalars):
+            scalar.poke_many({n: v[lane] for n, v in lane_vals.items()})
+        vec.poke_many_lanes(lane_vals)
+        _assert_lanes_match(scalars, vec, f"{context} @step{step}")
+        if has_clock:
+            for scalar in scalars:
+                scalar.clock_pulse()
+            vec.clock_pulse()
+            _assert_lanes_match(scalars, vec, f"{context} @clk{step}")
 
 
 def _family_cases():
@@ -70,13 +123,24 @@ def test_backends_agree_on_design_corpus(family, style):
     for draw in range(2):
         params = family.param_sampler(random.Random(100 + draw))
         code = family.styles[style](params, random.Random(200 + draw))
-        interp, compiled = _build_pair(code)
-        _drive_random(interp, compiled, seed=300 + draw,
+        trio = _build_trio(code)
+        _drive_random(trio, seed=300 + draw,
                       context=f"{family.name}/{style}/draw{draw}")
 
 
+@pytest.mark.parametrize("family,style", _family_cases())
+def test_vector_lanes_agree_on_design_corpus(family, style):
+    """Every family/style again, but with per-lane *divergent* stimulus:
+    each lane of one vector simulator must track its own interpreter."""
+    params = family.param_sampler(random.Random(101))
+    code = family.styles[style](params, random.Random(201))
+    design = elaborate(parse(code))
+    _drive_random_lanes(design, seed=400,
+                        context=f"{family.name}/{style}/lanes")
+
+
 def test_backends_agree_on_x_propagation():
-    """Registers start at X; both backends must track X bits identically
+    """Registers start at X; all backends must track X bits identically
     through logic, arithmetic and comparisons before any reset."""
     code = """
     module m(input clk, input rst, input [3:0] d,
@@ -91,20 +155,20 @@ def test_backends_agree_on_x_propagation():
         else q <= d;
     endmodule
     """
-    interp, compiled = _build_pair(code)
-    _assert_same_state(interp, compiled, "pre-reset")
-    for sim in (interp, compiled):
+    trio = _build_trio(code)
+    _assert_same_state(trio, "pre-reset")
+    for sim in trio:
         sim.poke_many({"rst": 0, "d": 5})
         sim.clock_pulse()
-    _assert_same_state(interp, compiled, "clocked without reset (X regs)")
-    for sim in (interp, compiled):
+    _assert_same_state(trio, "clocked without reset (X regs)")
+    for sim in trio:
         sim.poke("rst", 1)
         sim.poke("rst", 0)
-    _assert_same_state(interp, compiled, "post-reset")
+    _assert_same_state(trio, "post-reset")
 
 
 def test_backends_agree_on_x_clock_edges():
-    """X -> 1 counts as a posedge, X -> 0 as a negedge; both backends
+    """X -> 1 counts as a posedge, X -> 0 as a negedge; all backends
     must make the same call."""
     code = """
     module m(input clk, output reg [3:0] n);
@@ -112,12 +176,12 @@ def test_backends_agree_on_x_clock_edges():
       always @(posedge clk) n <= n + 1;
     endmodule
     """
-    interp, compiled = _build_pair(code)
-    # clk starts X: driving 1 is an X->1 posedge on both backends.
-    interp.poke("clk", 1)
-    compiled.poke("clk", 1)
-    _assert_same_state(interp, compiled, "X->1 edge")
-    assert interp.peek_int("n") == 1
+    trio = _build_trio(code)
+    # clk starts X: driving 1 is an X->1 posedge on every backend.
+    for sim in trio:
+        sim.poke("clk", 1)
+    _assert_same_state(trio, "X->1 edge")
+    assert trio[0].peek_int("n") == 1
 
 
 def test_backends_agree_on_casez_wildcards():
@@ -133,16 +197,16 @@ def test_backends_agree_on_casez_wildcards():
         endcase
     endmodule
     """
-    interp, compiled = _build_pair(code)
+    trio = _build_trio(code)
     for value in range(16):
-        interp.poke("sel", value)
-        compiled.poke("sel", value)
-        _assert_same_state(interp, compiled, f"casez sel={value}")
+        for sim in trio:
+            sim.poke("sel", value)
+        _assert_same_state(trio, f"casez sel={value}")
 
 
 def test_backends_agree_on_nba_loop_variable_capture():
     """``q[i] <= q[i-1]`` in a for loop must capture ``i`` at schedule
-    time on both backends."""
+    time on every backend."""
     code = """
     module m(input clk, input din, output reg [3:0] q);
       integer i;
@@ -154,18 +218,18 @@ def test_backends_agree_on_nba_loop_variable_capture():
       end
     endmodule
     """
-    interp, compiled = _build_pair(code)
+    trio = _build_trio(code)
     pattern = [1, 1, 0, 1, 0, 0, 1]
     for bit in pattern:
-        for sim in (interp, compiled):
+        for sim in trio:
             sim.poke("din", bit)
             sim.clock_pulse()
-        _assert_same_state(interp, compiled, f"shift din={bit}")
-    assert interp.peek_int("q") == compiled.peek_int("q")
+        _assert_same_state(trio, f"shift din={bit}")
+    assert len({sim.peek_int("q") for sim in trio}) == 1
 
 
 def test_backends_agree_on_memory_and_x_address_drop():
-    """Writes through an X address are dropped by both backends; memory
+    """Writes through an X address are dropped by all backends; memory
     words compare bit-identically."""
     code = """
     module m(input clk, input we, input [2:0] addr, input [7:0] wdata,
@@ -176,23 +240,23 @@ def test_backends_agree_on_memory_and_x_address_drop():
         if (we) mem[addr] <= wdata;
     endmodule
     """
-    interp, compiled = _build_pair(code)
-    # addr is X at first: the write must be dropped on both backends.
-    for sim in (interp, compiled):
+    trio = _build_trio(code)
+    # addr is X at first: the write must be dropped on every backend.
+    for sim in trio:
         sim.poke_many({"we": 1, "wdata": 0xAB})
         sim.clock_pulse()
-    _assert_same_state(interp, compiled, "X-address write dropped")
-    for sim in (interp, compiled):
+    _assert_same_state(trio, "X-address write dropped")
+    for sim in trio:
         for addr in range(8):
             sim.poke_many({"we": 1, "addr": addr, "wdata": addr * 17})
             sim.clock_pulse()
         sim.poke("we", 0)
-    _assert_same_state(interp, compiled, "after writes")
+    _assert_same_state(trio, "after writes")
     for addr in range(8):
-        interp.poke("addr", addr)
-        compiled.poke("addr", addr)
-        assert interp.peek("rdata") == compiled.peek("rdata")
-        assert interp.peek_int("rdata") == addr * 17
+        for sim in trio:
+            sim.poke("addr", addr)
+        assert len({sim.peek("rdata") for sim in trio}) == 1
+        assert trio[0].peek_int("rdata") == addr * 17
 
 
 def test_backends_agree_on_concat_lvalue_and_part_select():
@@ -205,13 +269,13 @@ def test_backends_agree_on_concat_lvalue_and_part_select():
       assign mid = packed_bus[4:3];
     endmodule
     """
-    interp, compiled = _build_pair(code)
+    trio = _build_trio(code)
     rng = random.Random(42)
     for _ in range(20):
         vector = {"a": rng.randrange(16), "b": rng.randrange(16)}
-        interp.poke_many(vector)
-        compiled.poke_many(vector)
-        _assert_same_state(interp, compiled, f"concat {vector}")
+        for sim in trio:
+            sim.poke_many(vector)
+        _assert_same_state(trio, f"concat {vector}")
 
 
 def test_backends_agree_on_division_by_zero():
@@ -221,25 +285,100 @@ def test_backends_agree_on_division_by_zero():
       assign r = a % b;
     endmodule
     """
-    interp, compiled = _build_pair(code)
+    trio = _build_trio(code)
     for vector in ({"a": 10, "b": 3}, {"a": 10, "b": 0}, {"a": 255, "b": 16}):
-        interp.poke_many(vector)
-        compiled.poke_many(vector)
-        _assert_same_state(interp, compiled, f"divmod {vector}")
+        for sim in trio:
+            sim.poke_many(vector)
+        _assert_same_state(trio, f"divmod {vector}")
         if vector["b"] == 0:
-            assert interp.peek("q") == FourState.unknown(8)
+            assert trio[0].peek("q") == FourState.unknown(8)
+
+
+def test_vector_lane_divergent_division_by_zero():
+    """Division by zero on *some* lanes only: the zero-divisor lane goes
+    all-X while its neighbours compute normally."""
+    code = """
+    module m(input [7:0] a, input [7:0] b, output [7:0] q, output [7:0] r);
+      assign q = a / b;
+      assign r = a % b;
+    endmodule
+    """
+    design = elaborate(parse(code))
+    vec = VectorSimulator(design, lanes=3)
+    vec.poke_many_lanes({"a": [10, 10, 255], "b": [3, 0, 16]})
+    assert vec.peek("q", lane=0) == FourState.from_int(3, 8)
+    assert vec.peek("q", lane=1) == FourState.unknown(8)
+    assert vec.peek("q", lane=2) == FourState.from_int(15, 8)
+    assert vec.peek("r", lane=1) == FourState.unknown(8)
+
+
+def test_vector_lane_retirement_freezes_state():
+    """A retired lane ignores pokes and clock edges; survivors keep
+    tracking their interpreter runs."""
+    code = """
+    module m(input clk, input rst, input [3:0] d, output reg [7:0] acc);
+      always @(posedge clk)
+        if (rst) acc <= 0;
+        else acc <= acc + {4'b0, d};
+    endmodule
+    """
+    design = elaborate(parse(code))
+    scalars = [Simulator(design, backend="interp") for _ in range(3)]
+    vec = VectorSimulator(design, lanes=3)
+    for lane, scalar in enumerate(scalars):
+        scalar.poke_many({"rst": 1, "d": 0})
+        scalar.clock_pulse()
+        scalar.poke("rst", 0)
+    vec.poke_many_lanes({"rst": [1, 1, 1], "d": [0, 0, 0]})
+    vec.clock_pulse()
+    vec.poke_many_lanes({"rst": [0, 0, 0]})
+    rngs = [random.Random(10 + lane) for lane in range(3)]
+    for step in range(5):
+        vals = [rng.randrange(16) for rng in rngs]
+        for lane, scalar in enumerate(scalars):
+            scalar.poke("d", vals[lane])
+            scalar.clock_pulse()
+        vec.poke_many_lanes({"d": vals})
+        vec.clock_pulse()
+    frozen = vec.state_lane(1)
+    vec.retire_lane(1)
+    assert vec.active_lanes == 0b101
+    for step in range(5):
+        vals = [rng.randrange(16) for rng in rngs]
+        for lane, scalar in enumerate(scalars):
+            if lane == 1:
+                continue
+            scalar.poke("d", vals[lane])
+            scalar.clock_pulse()
+        vec.poke_many_lanes({"d": vals})
+        vec.clock_pulse()
+    assert vec.state_lane(1) == frozen
+    for lane in (0, 2):
+        assert scalars[lane].state == vec.state_lane(lane)
+
+
+def test_vector_poke_many_lanes_none_skips_lane():
+    """``None`` entries leave that lane's input untouched."""
+    code = "module m(input [3:0] a, output [3:0] y); assign y = a + 1; endmodule"
+    design = elaborate(parse(code))
+    vec = VectorSimulator(design, lanes=2)
+    vec.poke_many_lanes({"a": [2, 7]})
+    assert vec.peek_int("y") == 3
+    assert vec.peek("y", lane=1).val == 8
+    vec.poke_many_lanes({"a": [5, None]})
+    assert vec.peek_int("y") == 6
+    assert vec.peek("y", lane=1).val == 8
 
 
 def test_backend_selector_and_poke_four_state():
     """simulate() honours the backend argument; FourState pokes with X
-    bits flow through both backends identically."""
+    bits flow through all backends identically."""
     code = "module m(input [3:0] a, output [3:0] y); assign y = ~a; endmodule"
-    interp = simulate(code, backend="interp")
-    compiled = simulate(code, backend="compiled")
-    assert interp.backend == "interp"
-    assert compiled.backend == "compiled"
+    trio = tuple(simulate(code, backend=b)
+                 for b in ("interp", "compiled", "vector"))
+    assert [sim.backend for sim in trio] == ["interp", "compiled", "vector"]
     poked = FourState(4, 0b0100, 0b0011)  # two low bits X
-    interp.poke("a", poked)
-    compiled.poke("a", poked)
-    assert interp.peek("y") == compiled.peek("y")
-    assert interp.peek("y").xmask == 0b0011
+    for sim in trio:
+        sim.poke("a", poked)
+    assert len({sim.peek("y") for sim in trio}) == 1
+    assert trio[0].peek("y").xmask == 0b0011

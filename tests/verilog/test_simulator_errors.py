@@ -4,14 +4,14 @@ Covers the three bounded-execution guards -- combinational settle
 (``_MAX_SETTLE_ITERS``), edge cascade (``_MAX_EDGE_CASCADE``) and
 procedural for-loops (``_MAX_LOOP_ITERS``) -- plus unknown-signal
 access, all of which must raise :class:`SimulationError` identically
-on the interpreted and compiled backends.
+on the interpreted, compiled and vector backends.
 """
 
 import pytest
 
 from repro.verilog.simulator import SimulationError, simulate
 
-BACKENDS = ("interp", "compiled")
+BACKENDS = ("interp", "compiled", "vector")
 
 COMB_LOOP = """
 module m(output reg r);
