@@ -1,0 +1,112 @@
+"""Benchmark: warm designs store vs re-running the front end.
+
+Simulates the cold-process regime the ``designs`` store namespace
+targets: a fresh sweep shard or serve worker has an empty in-memory
+front-end memo, so every unique completion pays lex -> parse ->
+elaborate -- unless a warm store serves the serialized elaborated
+design instead.  Each timed reset clears ``_prepare``'s ``lru_cache``
+(a simulated process restart) and prepares the whole design-family
+corpus; the store-backed passes must beat the store-off passes by at
+least ``MIN_SPEEDUP``.
+
+The measured speedup is recorded in ``BENCH_design_store.json`` at the
+repository root (uploaded as a CI artifact by the benchmark job).
+"""
+
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.corpus.designs import ALL_FAMILIES
+from repro.store import reset_artifact_store
+from repro.vereval.testbench import (
+    _prepare,
+    frontend_counters,
+    reset_frontend_counters,
+)
+from repro.verilog.parser import parse
+
+REPS = 3  # report the best of REPS to damp scheduler noise
+MIN_SPEEDUP = 2.0
+_ARTIFACT = Path(__file__).resolve().parent.parent \
+    / "BENCH_design_store.json"
+
+
+def _design_corpus():
+    """One source per (family, style): the whole catalog of shapes the
+    front end handles, with tops resolved outside the timed region."""
+    sources = []
+    for family in ALL_FAMILIES:
+        for style in sorted(family.styles):
+            params = family.param_sampler(random.Random(11))
+            code = family.styles[style](params, random.Random(12))
+            sources.append((code, parse(code).modules[0].name))
+    return sources
+
+
+def _prepare_all(sources):
+    """One simulated cold process: empty memo, full corpus."""
+    _prepare.cache_clear()
+    t0 = time.perf_counter()
+    for code, top in sources:
+        design, failure = _prepare(code, top)
+        assert failure is None, failure
+    return time.perf_counter() - t0
+
+
+def _best_of(sources):
+    return min(_prepare_all(sources) for _ in range(REPS))
+
+
+def test_design_store_speedup_on_cold_processes(tmp_path):
+    sources = _design_corpus()
+    saved_env = os.environ.get("REPRO_STORE_DIR")
+    try:
+        # Store-backed: populate once, then time warm cold-processes.
+        os.environ["REPRO_STORE_DIR"] = str(tmp_path / "bench-store")
+        reset_artifact_store()
+        _prepare_all(sources)  # cold pass publishes every design
+        reset_frontend_counters()
+        t_warm = _best_of(sources)
+        warm_counters = frontend_counters()
+
+        # Store-off: the same cold processes re-run the front end.
+        del os.environ["REPRO_STORE_DIR"]
+        reset_artifact_store()
+        t_off = _best_of(sources)
+    finally:
+        if saved_env is None:
+            os.environ.pop("REPRO_STORE_DIR", None)
+        else:
+            os.environ["REPRO_STORE_DIR"] = saved_env
+        reset_artifact_store()
+        _prepare.cache_clear()
+        reset_frontend_counters()
+
+    # Every warm prepare must have come from the store, none from the
+    # front end -- otherwise the timing compares the wrong thing.
+    assert warm_counters["elaborations"] == 0, warm_counters
+    assert warm_counters["design_hits"] == REPS * len(sources)
+
+    speedup = t_off / t_warm
+    record = {
+        "benchmark": "_prepare over the design-family corpus, "
+                     "simulated cold processes (lru_cache cleared)",
+        "protocol": {"designs": len(sources), "reps": REPS},
+        "store_off_s": round(t_off, 4),
+        "store_warm_s": round(t_warm, 4),
+        "speedup": round(speedup, 2),
+        "min_required_speedup": MIN_SPEEDUP,
+        "warm_frontend_counters": warm_counters,
+        "python": sys.version.split()[0],
+    }
+    _ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"designs store speedup regressed: {speedup:.2f}x < "
+        f"{MIN_SPEEDUP}x (front end {t_off:.3f}s, "
+        f"store-served {t_warm:.3f}s)"
+    )

@@ -79,6 +79,10 @@ _EXPORTS = {
     # artifact store
     "ArtifactStore": ".store",
     "artifact_store": ".store",
+    # serialized elaborated designs (the "designs" store namespace)
+    "dump_design": ".verilog.serialize",
+    "load_design": ".verilog.serialize",
+    "DesignDecodeError": ".verilog.serialize",
 }
 
 __all__ = sorted([*_EXPORTS, "__version__"])

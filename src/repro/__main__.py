@@ -296,6 +296,12 @@ def cmd_sweep(args) -> int:
               f"{counts.get('hits', 0)} hits / "
               f"{counts.get('misses', 0)} misses / "
               f"{counts.get('puts', 0)} puts")
+    if report.frontend_counters:
+        print(f"design front-end: "
+              f"{report.frontend_counters.get('design_hits', 0)} "
+              f"store-served designs / "
+              f"{report.frontend_counters.get('elaborations', 0)} "
+              f"elaborations")
     print(f"elapsed: {report.elapsed_s:.2f}s")
     if args.stream:
         print(f"streamed rows to {args.stream}")
@@ -319,6 +325,12 @@ def cmd_store(args) -> int:
     store = ArtifactStore(root, max_mb=args.max_mb)
     if args.action == "stats":
         stats = store.stats()
+        if args.json:
+            # Machine-readable form: scripts/assert_counters.py (and
+            # the CI workflows) consume this instead of scraping the
+            # table below.
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
         rows = [[ns, c["entries"], c["bytes"]]
                 for ns, c in sorted(stats["by_namespace"].items())]
         rows.append(["total", stats["entries"], stats["total_bytes"]])
@@ -503,6 +515,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-mb", type=float, default=None,
                    help="size bound for gc (default: "
                         "REPRO_STORE_MAX_MB)")
+    p.add_argument("--json", action="store_true",
+                   help="emit `stats` as JSON (for scripts/CI "
+                        "assertions)")
     p.set_defaults(func=cmd_store)
 
     p = sub.add_parser("check", help="syntax-check a Verilog file")

@@ -159,13 +159,14 @@ def run_sweep_task(task: SweepTask) -> dict:
     a thin shim over :func:`repro.scenarios.runtime.run_scenario`.
     """
     from ..scenarios.runtime import run_scenario
-    from ..vereval.testbench import lane_counters
+    from ..vereval.testbench import frontend_counters, lane_counters
 
     cache = generation_cache()
     before = cache.stats()
     store = artifact_store()
     store_before = store.counters_snapshot() if store else {}
     lanes_before = lane_counters()
+    frontend_before = frontend_counters()
     outcome = run_scenario(task.spec)
     row = outcome.row
     if task.axis:
@@ -175,6 +176,9 @@ def run_sweep_task(task: SweepTask) -> dict:
     lanes_after = lane_counters()
     lanes = {key: lanes_after[key] - lanes_before[key]
              for key in lanes_after}
+    frontend_after = frontend_counters()
+    frontend = {key: frontend_after[key] - frontend_before[key]
+                for key in frontend_after}
     return {
         "row": row,
         "cache": {
@@ -187,6 +191,9 @@ def run_sweep_task(task: SweepTask) -> dict:
                   if store else {}),
         # vector-backend lane utilization (all-zero on scalar backends)
         "lanes": lanes if any(lanes.values()) else {},
+        # front-end work: elaborations run vs designs served from the
+        # store (all-zero when the grid point ran no testbenches)
+        "frontend": frontend if any(frontend.values()) else {},
     }
 
 
@@ -208,7 +215,8 @@ def failure_payload(task: SweepTask, failure: TaskFailure) -> dict:
     return {"row": row,
             "cache": {"hits": 0, "disk_hits": 0, "misses": 0},
             "store": {},
-            "lanes": {}}
+            "lanes": {},
+            "frontend": {}}
 
 
 @dataclass
@@ -227,6 +235,9 @@ class SweepReport:
     store_counters: dict = field(default_factory=dict)
     #: summed vector-backend lane utilization ({} = scalar backends)
     lane_counters: dict = field(default_factory=dict)
+    #: summed front-end counters: elaborations run vs elaborated
+    #: designs served from the ``designs`` store namespace
+    frontend_counters: dict = field(default_factory=dict)
     #: grid points served from the resume stream instead of re-running
     resumed_rows: int = 0
     #: grid points that raised and landed as error rows
@@ -289,6 +300,12 @@ class SweepReport:
             "sim_lanes": counters_payload(
                 {"testbench": self.lane_counters}
                 if self.lane_counters else {}),
+            # front-end cost accounting: elaborations actually run vs
+            # designs deserialized from the store -- a warm-store run
+            # reports zero elaborations (same shape as /v1/stats)
+            "design_frontend": counters_payload(
+                {"testbench": self.frontend_counters}
+                if self.frontend_counters else {}),
             "executor": {"kind": self.executor, "shards": self.shards},
             "resumed_rows": self.resumed_rows,
             "failed_rows": self.failed_rows,
@@ -370,7 +387,8 @@ class ExperimentRunner:
                                 "cache": entry["cache"],
                                 "store": entry["store"],
                                 # absent on streams from older runs
-                                "lanes": entry.get("lanes", {})}
+                                "lanes": entry.get("lanes", {}),
+                                "frontend": entry.get("frontend", {})}
         return preloaded
 
     def run(self) -> SweepReport:
@@ -419,6 +437,7 @@ class ExperimentRunner:
         elapsed = time.perf_counter() - start
         store_counters: dict[str, dict[str, int]] = {}
         lane_totals: dict[str, int] = {}
+        frontend_totals: dict[str, int] = {}
         for payload in payloads:
             for namespace, counts in payload.get("store", {}).items():
                 bucket = store_counters.setdefault(namespace, {})
@@ -426,6 +445,9 @@ class ExperimentRunner:
                     bucket[metric] = bucket.get(metric, 0) + value
             for metric, value in payload.get("lanes", {}).items():
                 lane_totals[metric] = lane_totals.get(metric, 0) + value
+            for metric, value in payload.get("frontend", {}).items():
+                frontend_totals[metric] = \
+                    frontend_totals.get(metric, 0) + value
         return SweepReport(
             config=self.config,
             rows=[p["row"] for p in payloads],
@@ -438,6 +460,7 @@ class ExperimentRunner:
                                 for p in payloads),
             store_counters=store_counters,
             lane_counters=lane_totals,
+            frontend_counters=frontend_totals,
             resumed_rows=len(preloaded),
             failed_rows=failed,
         )

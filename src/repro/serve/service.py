@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..store import artifact_store, counters_payload
+from ..vereval.testbench import frontend_counters
 from .schema import (
     SCHEMA_VERSION,
     CheckRequest,
@@ -366,6 +367,7 @@ class EvaluationService:
         store = artifact_store()
         running = sum(1 for job in self._jobs.values()
                       if job.state == "running")
+        frontend = frontend_counters()
         return {
             "schema": SCHEMA_VERSION,
             "uptime_s": round(time.time() - self._started, 3),
@@ -380,6 +382,11 @@ class EvaluationService:
             "artifact_store": counters_payload(
                 store.counters_snapshot() if store else {},
                 enabled=store is not None),
+            # front-end cost accounting (same block sweep reports emit):
+            # elaborations actually run in this process vs designs
+            # deserialized from the store's "designs" namespace
+            "design_frontend": counters_payload(
+                {"testbench": frontend} if any(frontend.values()) else {}),
         }
 
 

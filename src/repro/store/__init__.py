@@ -1,7 +1,7 @@
 """Persistent cross-process artifact store.
 
 :mod:`repro.store.artifact` implements a content-addressed, disk-backed
-cache (``REPRO_STORE_DIR``; off by default) shared by four clients:
+cache (``REPRO_STORE_DIR``; off by default) shared by five clients:
 
 * the generation cache (:mod:`repro.llm.cache`) gains a disk tier, so
   sharded sweep workers and repeat runs share completion batches;
@@ -14,7 +14,13 @@ cache (``REPRO_STORE_DIR``; off by default) shared by four clients:
   ``scenario-rows`` namespace under the spec's content digest, so a
   warm sweep re-run serves unchanged grid points as pure lookups --
   no corpus build, fine-tunes, or generation at all;
-* ``python -m repro store {stats,gc,clear}`` manages the store.
+* elaborated designs (:func:`repro.vereval.testbench._prepare`) are
+  memoized in the ``designs`` namespace keyed by (source digest, top
+  module, elaboration schema version) via the versioned byte format in
+  :mod:`repro.verilog.serialize`, so cold processes skip
+  lex -> parse -> elaborate for every source the store has seen;
+* ``python -m repro store {stats,gc,clear}`` manages the store
+  (``stats --json`` emits the machine-readable form CI asserts on).
 """
 
 from .artifact import (

@@ -42,7 +42,10 @@ entries hold pickled Python objects -- used for fitted models and
 generation batches, where bit-identical round-trips of dict/Counter
 iteration order matter for RNG determinism.  Only unpickle stores you
 trust (i.e. your own ``REPRO_STORE_DIR``); the store never downloads
-anything.
+anything.  ``kind="bytes"`` entries hold pre-encoded byte payloads
+whose format carries its own versioning/checksums -- used for
+serialized elaborated designs (the ``designs`` namespace, see
+:mod:`repro.verilog.serialize`).
 
 Eviction
 --------
@@ -75,7 +78,7 @@ _ENV_DIR = "REPRO_STORE_DIR"
 _ENV_MAX_MB = "REPRO_STORE_MAX_MB"
 
 #: Payload encodings an entry may declare.
-KINDS = ("json", "pickle")
+KINDS = ("json", "pickle", "bytes")
 
 
 def content_key(*parts) -> str:
@@ -249,6 +252,8 @@ class ArtifactStore:
                 return (json.loads(body),)
             if kind == "pickle":
                 return (pickle.loads(body),)
+            if kind == "bytes":
+                return (body,)
         except Exception:
             return None
         return None
@@ -280,6 +285,14 @@ class ArtifactStore:
             raise ValueError(f"unknown payload kind {kind!r}")
         if kind == "json":
             body = json.dumps(payload).encode("utf-8")
+        elif kind == "bytes":
+            # Pre-encoded artifacts (e.g. serialized elaborated designs)
+            # whose format carries its own versioning and checksums.
+            if not isinstance(payload, (bytes, bytearray)):
+                raise ValueError(
+                    f"kind='bytes' requires a bytes payload, "
+                    f"got {type(payload).__name__}")
+            body = bytes(payload)
         else:
             body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         header = {

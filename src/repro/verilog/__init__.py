@@ -26,6 +26,12 @@ from .simulator import (
     simulate,
     simulate_many,
 )
+from .serialize import (
+    DESIGN_SCHEMA_VERSION,
+    DesignDecodeError,
+    dump_design,
+    load_design,
+)
 from .syntax import CheckResult, SyntaxChecker, check_syntax
 from .trace import Trace, Tracer
 from .values import FourState
@@ -34,6 +40,8 @@ from .writer import emit_module, emit_source
 __all__ = [
     "BACKENDS",
     "CheckResult",
+    "DESIGN_SCHEMA_VERSION",
+    "DesignDecodeError",
     "ElaborationError",
     "FlatDesign",
     "FourState",
@@ -47,12 +55,14 @@ __all__ = [
     "Trace",
     "Tracer",
     "check_syntax",
+    "dump_design",
     "elaborate",
     "emit_module",
     "emit_source",
     "extract_comments",
     "get_default_backend",
     "identifier_frequencies",
+    "load_design",
     "parse",
     "parse_module",
     "resolve_backend",

@@ -1,0 +1,376 @@
+"""Serialization of elaborated designs: ``FlatDesign`` <-> bytes.
+
+The front end (lex -> parse -> elaborate) is the dominant per-source
+cost of every testbench run, and its product -- a :class:`FlatDesign` --
+is an immutable value: signals, continuous assigns and lowered
+statement trees, with every parameter folded away.  That makes it a
+storable artifact.  :func:`dump_design` round-trips a design through a
+versioned, compact byte format so cold processes can load elaborated
+designs from the artifact store (the ``designs`` namespace) and skip
+the front end entirely; the simulator backends then lower the
+deserialized design exactly as they would a freshly elaborated one.
+
+Format (version ``DESIGN_SCHEMA_VERSION``)::
+
+    b"RPD" | version (1 byte) | crc32(body) (4 bytes, big-endian) | zlib(body)
+
+``body`` is a compact JSON document encoding the design tree with
+one-character node tags.  Decoding is **strict**: a wrong magic, an
+unknown version, a CRC mismatch, undecodable compression/JSON, an
+unknown node tag, or any mistyped field raises
+:class:`DesignDecodeError` -- callers treat that as a cache miss and
+re-elaborate, so a damaged or stale entry can never substitute a wrong
+design.  Bump ``DESIGN_SCHEMA_VERSION`` whenever the encoding *or the
+semantics of any encoded field* change; old entries then read as
+misses (the store key includes the version, and the envelope check
+rejects the blob regardless of how it was keyed).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+from .ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    Case,
+    CaseItem,
+    Concat,
+    ContinuousAssign,
+    EdgeKind,
+    Expr,
+    For,
+    Identifier,
+    If,
+    Index,
+    Number,
+    PartSelect,
+    Replicate,
+    SensItem,
+    Stmt,
+    SystemCall,
+    Ternary,
+    Unary,
+)
+from .elaborate import FlatDesign, FlatProcess, SignalSpec
+
+#: Version of the on-disk elaborated-design encoding.  Part of both the
+#: store key and the envelope, so a bump invalidates every old entry.
+DESIGN_SCHEMA_VERSION = 1
+
+_MAGIC = b"RPD"
+_HEADER_LEN = len(_MAGIC) + 1 + 4
+
+
+class DesignDecodeError(ValueError):
+    """Raised when a serialized design blob cannot be decoded.
+
+    Any damage -- truncation, version skew, checksum mismatch, or a
+    structurally invalid document -- lands here; store clients treat it
+    as a miss and re-elaborate.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Expression encoding
+# ---------------------------------------------------------------------------
+
+def _enc_expr(expr: Expr) -> list:
+    if isinstance(expr, Number):
+        return ["N", expr.value, expr.width, expr.xmask, expr.base,
+                expr.signed, expr.original]
+    if isinstance(expr, Identifier):
+        return ["I", expr.name]
+    if isinstance(expr, Unary):
+        return ["U", expr.op, _enc_expr(expr.operand)]
+    if isinstance(expr, Binary):
+        return ["B", expr.op, _enc_expr(expr.left), _enc_expr(expr.right)]
+    if isinstance(expr, Ternary):
+        return ["T", _enc_expr(expr.cond), _enc_expr(expr.then),
+                _enc_expr(expr.otherwise)]
+    if isinstance(expr, Index):
+        return ["X", _enc_expr(expr.target), _enc_expr(expr.index)]
+    if isinstance(expr, PartSelect):
+        return ["P", _enc_expr(expr.target), _enc_expr(expr.msb),
+                _enc_expr(expr.lsb)]
+    if isinstance(expr, Concat):
+        return ["C", [_enc_expr(p) for p in expr.parts]]
+    if isinstance(expr, Replicate):
+        return ["R", _enc_expr(expr.count), _enc_expr(expr.value)]
+    if isinstance(expr, SystemCall):
+        return ["S", expr.name, [_enc_expr(a) for a in expr.args]]
+    raise TypeError(f"cannot serialize expression {type(expr).__name__}")
+
+
+def _int(value) -> int:
+    if type(value) is not int:  # bool is an int subclass; reject it
+        raise DesignDecodeError(f"expected int, got {value!r}")
+    return value
+
+
+def _str(value) -> str:
+    if not isinstance(value, str):
+        raise DesignDecodeError(f"expected str, got {value!r}")
+    return value
+
+
+def _bool(value) -> bool:
+    if not isinstance(value, bool):
+        raise DesignDecodeError(f"expected bool, got {value!r}")
+    return value
+
+
+def _list(value) -> list:
+    if not isinstance(value, list):
+        raise DesignDecodeError(f"expected list, got {value!r}")
+    return value
+
+
+def _arity(doc: list, n: int) -> list:
+    if len(doc) != n:
+        raise DesignDecodeError(
+            f"node {doc[0]!r} has {len(doc)} fields, expected {n}")
+    return doc
+
+
+def _dec_expr(doc) -> Expr:
+    tag = _list(doc)[0] if doc else None
+    if tag == "N":
+        _, value, width, xmask, base, signed, original = _arity(doc, 7)
+        if width is not None:
+            width = _int(width)
+        return Number(value=_int(value), width=width, xmask=_int(xmask),
+                      base=_str(base), signed=_bool(signed),
+                      original=_str(original))
+    if tag == "I":
+        return Identifier(_str(_arity(doc, 2)[1]))
+    if tag == "U":
+        _, op, operand = _arity(doc, 3)
+        return Unary(_str(op), _dec_expr(operand))
+    if tag == "B":
+        _, op, left, right = _arity(doc, 4)
+        return Binary(_str(op), _dec_expr(left), _dec_expr(right))
+    if tag == "T":
+        _, cond, then, otherwise = _arity(doc, 4)
+        return Ternary(_dec_expr(cond), _dec_expr(then), _dec_expr(otherwise))
+    if tag == "X":
+        _, target, index = _arity(doc, 3)
+        return Index(_dec_expr(target), _dec_expr(index))
+    if tag == "P":
+        _, target, msb, lsb = _arity(doc, 4)
+        return PartSelect(_dec_expr(target), _dec_expr(msb), _dec_expr(lsb))
+    if tag == "C":
+        return Concat([_dec_expr(p) for p in _list(_arity(doc, 2)[1])])
+    if tag == "R":
+        _, count, value = _arity(doc, 3)
+        return Replicate(_dec_expr(count), _dec_expr(value))
+    if tag == "S":
+        _, name, args = _arity(doc, 3)
+        return SystemCall(_str(name), [_dec_expr(a) for a in _list(args)])
+    raise DesignDecodeError(f"unknown expression tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Statement encoding
+# ---------------------------------------------------------------------------
+
+def _enc_stmt(stmt: Stmt) -> list:
+    if isinstance(stmt, Assign):
+        return ["a", _enc_expr(stmt.target), _enc_expr(stmt.value),
+                stmt.blocking]
+    if isinstance(stmt, If):
+        return ["i", _enc_expr(stmt.cond),
+                [_enc_stmt(s) for s in stmt.then_body],
+                [_enc_stmt(s) for s in stmt.else_body]]
+    if isinstance(stmt, Case):
+        return ["c", _enc_expr(stmt.subject),
+                [[[_enc_expr(p) for p in item.patterns],
+                  [_enc_stmt(s) for s in item.body]]
+                 for item in stmt.items],
+                stmt.kind]
+    if isinstance(stmt, For):
+        return ["f", _enc_stmt(stmt.init), _enc_expr(stmt.cond),
+                _enc_stmt(stmt.step), [_enc_stmt(s) for s in stmt.body]]
+    if isinstance(stmt, Block):
+        return ["b", [_enc_stmt(s) for s in stmt.body], stmt.name]
+    raise TypeError(f"cannot serialize statement {type(stmt).__name__}")
+
+
+def _dec_assign(doc) -> Assign:
+    stmt = _dec_stmt(doc)
+    if not isinstance(stmt, Assign):
+        raise DesignDecodeError(
+            f"expected an assignment, got tag {_list(doc)[0]!r}")
+    return stmt
+
+
+def _dec_stmt(doc) -> Stmt:
+    tag = _list(doc)[0] if doc else None
+    if tag == "a":
+        _, target, value, blocking = _arity(doc, 4)
+        return Assign(_dec_expr(target), _dec_expr(value),
+                      blocking=_bool(blocking))
+    if tag == "i":
+        _, cond, then_body, else_body = _arity(doc, 4)
+        return If(_dec_expr(cond),
+                  [_dec_stmt(s) for s in _list(then_body)],
+                  [_dec_stmt(s) for s in _list(else_body)])
+    if tag == "c":
+        _, subject, items, kind = _arity(doc, 4)
+        decoded = []
+        for item in _list(items):
+            patterns, body = _arity(_list(item), 2)
+            decoded.append(CaseItem(
+                [_dec_expr(p) for p in _list(patterns)],
+                [_dec_stmt(s) for s in _list(body)]))
+        return Case(_dec_expr(subject), decoded, _str(kind))
+    if tag == "f":
+        _, init, cond, step, body = _arity(doc, 5)
+        return For(_dec_assign(init), _dec_expr(cond), _dec_assign(step),
+                   [_dec_stmt(s) for s in _list(body)])
+    if tag == "b":
+        _, body, name = _arity(doc, 3)
+        if name is not None:
+            name = _str(name)
+        return Block([_dec_stmt(s) for s in _list(body)], name=name)
+    raise DesignDecodeError(f"unknown statement tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Design encoding
+# ---------------------------------------------------------------------------
+
+_EDGES = {edge.value: edge for edge in EdgeKind}
+
+
+def _enc_process(proc: FlatProcess) -> list:
+    return [[[item.edge.value, item.signal] for item in proc.sensitivity],
+            [_enc_stmt(s) for s in proc.body],
+            proc.star]
+
+
+def _dec_process(doc) -> FlatProcess:
+    sens_docs, body, star = _arity(_list(doc), 3)
+    sensitivity = []
+    for item in _list(sens_docs):
+        edge, signal = _arity(_list(item), 2)
+        if edge not in _EDGES:
+            raise DesignDecodeError(f"unknown edge kind {edge!r}")
+        sensitivity.append(SensItem(_EDGES[edge], _str(signal)))
+    return FlatProcess(sensitivity, [_dec_stmt(s) for s in _list(body)],
+                       star=_bool(star))
+
+
+def _enc_signal(spec: SignalSpec) -> list:
+    return [spec.name, spec.width, spec.signed, spec.is_memory, spec.depth,
+            spec.mem_lsb, spec.is_input, spec.is_output, spec.lsb]
+
+
+def _dec_signal(doc) -> SignalSpec:
+    (name, width, signed, is_memory, depth,
+     mem_lsb, is_input, is_output, lsb) = _arity(_list(doc), 9)
+    return SignalSpec(
+        name=_str(name), width=_int(width), signed=_bool(signed),
+        is_memory=_bool(is_memory), depth=_int(depth), mem_lsb=_int(mem_lsb),
+        is_input=_bool(is_input), is_output=_bool(is_output), lsb=_int(lsb))
+
+
+def design_to_doc(design: FlatDesign) -> dict:
+    """The design as a plain JSON-able document (the envelope body)."""
+    return {
+        "top": design.top_name,
+        "signals": [_enc_signal(s) for s in design.signals.values()],
+        "assigns": [[_enc_expr(a.target), _enc_expr(a.value)]
+                    for a in design.assigns],
+        "processes": [_enc_process(p) for p in design.processes],
+        "initials": [_enc_process(p) for p in design.initials],
+        "inputs": list(design.inputs),
+        "outputs": list(design.outputs),
+    }
+
+
+def design_from_doc(doc) -> FlatDesign:
+    """Strictly rebuild a :class:`FlatDesign` from :func:`design_to_doc`."""
+    if not isinstance(doc, dict):
+        raise DesignDecodeError(f"design document is {type(doc).__name__}")
+    extra = set(doc) - {"top", "signals", "assigns", "processes",
+                        "initials", "inputs", "outputs"}
+    if extra:
+        raise DesignDecodeError(f"unknown design fields {sorted(extra)}")
+    try:
+        design = FlatDesign(top_name=_str(doc["top"]))
+        for spec_doc in _list(doc["signals"]):
+            spec = _dec_signal(spec_doc)
+            design.signals[spec.name] = spec
+        for assign_doc in _list(doc["assigns"]):
+            target, value = _arity(_list(assign_doc), 2)
+            design.assigns.append(ContinuousAssign(
+                target=_dec_expr(target), value=_dec_expr(value)))
+        design.processes = [_dec_process(p) for p in _list(doc["processes"])]
+        design.initials = [_dec_process(p) for p in _list(doc["initials"])]
+        design.inputs = [_str(n) for n in _list(doc["inputs"])]
+        design.outputs = [_str(n) for n in _list(doc["outputs"])]
+    except KeyError as exc:
+        raise DesignDecodeError(f"missing design field {exc}") from None
+    except (IndexError, TypeError) as exc:
+        raise DesignDecodeError(f"malformed design document: {exc}") from None
+    for name in design.inputs + design.outputs:
+        if name not in design.signals:
+            raise DesignDecodeError(f"port {name!r} has no signal spec")
+    return design
+
+
+# ---------------------------------------------------------------------------
+# Envelope
+# ---------------------------------------------------------------------------
+
+def dump_design(design: FlatDesign) -> bytes:
+    """Serialize an elaborated design into the versioned byte format."""
+    body = json.dumps(design_to_doc(design),
+                      separators=(",", ":")).encode("utf-8")
+    return (_MAGIC + bytes([DESIGN_SCHEMA_VERSION])
+            + (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "big")
+            + zlib.compress(body))
+
+
+def load_design(blob: bytes) -> FlatDesign:
+    """Deserialize :func:`dump_design` output.
+
+    Raises :class:`DesignDecodeError` on *any* damage -- truncation,
+    wrong magic, version skew, CRC mismatch, or a malformed document --
+    so callers can treat every failure mode as a cache miss.
+    """
+    if not isinstance(blob, (bytes, bytearray)) or len(blob) < _HEADER_LEN:
+        raise DesignDecodeError("blob too short for a design envelope")
+    blob = bytes(blob)
+    if blob[:len(_MAGIC)] != _MAGIC:
+        raise DesignDecodeError("bad magic: not a serialized design")
+    version = blob[len(_MAGIC)]
+    if version != DESIGN_SCHEMA_VERSION:
+        raise DesignDecodeError(
+            f"design format version {version}, "
+            f"expected {DESIGN_SCHEMA_VERSION}")
+    crc = int.from_bytes(blob[len(_MAGIC) + 1:_HEADER_LEN], "big")
+    try:
+        body = zlib.decompress(blob[_HEADER_LEN:])
+    except zlib.error as exc:
+        raise DesignDecodeError(f"undecodable payload: {exc}") from None
+    if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+        raise DesignDecodeError("checksum mismatch")
+    try:
+        doc = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise DesignDecodeError(f"undecodable document: {exc}") from None
+    return design_from_doc(doc)
+
+
+__all__ = [
+    "DESIGN_SCHEMA_VERSION",
+    "DesignDecodeError",
+    "design_from_doc",
+    "design_to_doc",
+    "dump_design",
+    "load_design",
+]

@@ -99,6 +99,22 @@ class TestRoundTrip:
         assert store.get("blobs", KEY) is not None
         assert store.get("blobs", KEY2) is None
 
+    def test_bytes_payload(self, store):
+        blob = b"RPD\x01" + bytes(range(64))
+        store.put("ns", KEY, blob, kind="bytes")
+        out = store.get("ns", KEY)
+        assert out == blob and isinstance(out, bytes)
+
+    def test_bytes_kind_rejects_non_bytes(self, store):
+        with pytest.raises(ValueError, match="bytes"):
+            store.put("ns", KEY, {"not": "bytes"}, kind="bytes")
+
+    def test_corrupted_bytes_entry_is_miss(self, store):
+        path = store.put("ns", KEY, b"x" * 200, kind="bytes")
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) - 50])
+        assert store.get("ns", KEY) is None
+
     def test_rejects_unknown_kind(self, store):
         with pytest.raises(ValueError, match="kind"):
             store.put("ns", KEY, 1, kind="yaml")

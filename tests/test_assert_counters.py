@@ -1,0 +1,149 @@
+"""scripts/assert_counters.py: the CI counter-assertion tool.
+
+The equivalence workflows lean entirely on this script's exit codes,
+so both directions are pinned here: every assertion kind passes on a
+conforming report and fails (exit 1, FAIL on stderr) on a violation.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" \
+    / "assert_counters.py"
+
+
+def run(*argv):
+    return subprocess.run([sys.executable, str(SCRIPT), *map(str, argv)],
+                          capture_output=True, text=True)
+
+
+@pytest.fixture()
+def reports(tmp_path):
+    """A cold/warm sweep-report pair plus store-stats JSON."""
+    rows = [{"case": "cs3", "seed": s, "asr": 0.5} for s in range(3)]
+    cold = {
+        "results": rows,
+        "failed_rows": 0,
+        "artifact_store": {"enabled": True, "namespaces": {
+            "designs": {"hits": 0, "misses": 6, "puts": 6},
+            "scenario-rows": {"hits": 0, "misses": 3, "puts": 3},
+        }},
+        "design_frontend": {"enabled": True, "namespaces": {
+            "testbench": {"elaborations": 6, "design_hits": 0}}},
+    }
+    warm = {
+        "results": rows,
+        "failed_rows": 0,
+        "artifact_store": {"enabled": True, "namespaces": {
+            "designs": {"hits": 6, "misses": 0, "puts": 0},
+        }},
+        "design_frontend": {"enabled": True, "namespaces": {
+            "testbench": {"elaborations": 0, "design_hits": 6}}},
+    }
+    stats = {
+        "by_namespace": {"designs": {"entries": 6, "bytes": 4096}},
+        "counters": {"designs": {"hits": 0, "misses": 0, "puts": 6}},
+        "entries": 6,
+    }
+    paths = {}
+    for name, doc in (("cold", cold), ("warm", warm), ("stats", stats)):
+        path = tmp_path / f"{name}.json"
+        path.write_text(json.dumps(doc))
+        paths[name] = path
+    return paths
+
+
+class TestPassing:
+    def test_expect_literal_rows_and_reference(self, reports):
+        proc = run(reports["warm"], "--enabled", "--failed-rows", "0",
+                   "--expect", "designs:misses=0",
+                   "--expect", "scenario-rows:hits=0",
+                   "--expect", f"designs:hits=@{reports['cold']}:designs:puts")
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_rows_value_resolves_to_result_count(self, reports):
+        proc = run(reports["cold"], "--expect", "scenario-rows:puts=rows")
+        assert proc.returncode == 0, proc.stderr
+
+    def test_frontend_and_rows_match(self, reports):
+        proc = run(reports["warm"],
+                   "--frontend", "elaborations=0",
+                   "--frontend",
+                   f"design_hits=@{reports['cold']}:designs:puts",
+                   "--rows-match", reports["cold"])
+        assert proc.returncode == 0, proc.stderr
+
+    def test_absent_allows_missing_and_all_zero(self, reports):
+        proc = run(reports["warm"], "--absent", "corpus",
+                   "--absent", "models")
+        assert proc.returncode == 0, proc.stderr
+
+    def test_store_stats_shape(self, reports):
+        proc = run(reports["stats"],
+                   "--expect", "designs:entries=6",
+                   "--expect",
+                   f"designs:entries=@{reports['cold']}:designs:puts",
+                   "--expect", "designs:puts=6")
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestFailing:
+    def test_wrong_counter_fails(self, reports):
+        proc = run(reports["warm"], "--expect", "designs:hits=5")
+        assert proc.returncode == 1
+        assert "designs:hits = 6, expected 5" in proc.stderr
+
+    def test_active_namespace_fails_absent(self, reports):
+        proc = run(reports["cold"], "--absent", "designs")
+        assert proc.returncode == 1
+        assert "activity" in proc.stderr
+
+    def test_frontend_mismatch_fails(self, reports):
+        proc = run(reports["cold"], "--frontend", "elaborations=0")
+        assert proc.returncode == 1
+
+    def test_diverged_rows_fail(self, reports, tmp_path):
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({"results": [{"case": "different"}]}))
+        proc = run(reports["warm"], "--rows-match", other)
+        assert proc.returncode == 1
+        assert "diverge" in proc.stderr
+
+    def test_not_enabled_fails(self, reports, tmp_path):
+        off = tmp_path / "off.json"
+        off.write_text(json.dumps(
+            {"results": [], "artifact_store": {"enabled": False,
+                                               "namespaces": {}}}))
+        proc = run(off, "--enabled")
+        assert proc.returncode == 1
+
+    def test_all_failures_reported_not_just_first(self, reports):
+        proc = run(reports["warm"], "--expect", "designs:hits=5",
+                   "--frontend", "elaborations=9")
+        assert proc.returncode == 1
+        assert proc.stderr.count("FAIL") == 2
+
+
+class TestUsageErrors:
+    def test_malformed_expect(self, reports):
+        proc = run(reports["warm"], "--expect", "designs-hits-6")
+        assert proc.returncode != 0
+
+    def test_malformed_value(self, reports):
+        proc = run(reports["warm"], "--expect", "designs:hits=six")
+        assert proc.returncode != 0
+
+    def test_rows_on_stats_input(self, reports):
+        proc = run(reports["stats"], "--expect", "designs:entries=rows")
+        assert proc.returncode != 0
+
+    def test_unrecognized_report_shape(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"whatever": 1}))
+        proc = run(bogus, "--expect", "designs:hits=0")
+        assert proc.returncode != 0

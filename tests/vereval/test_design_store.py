@@ -1,0 +1,178 @@
+"""The designs store namespace: _prepare's disk tier below lru_cache.
+
+With ``REPRO_STORE_DIR`` set, a cold process must serve elaborated
+designs (and cached front-end failures) from the ``designs`` namespace
+instead of re-running the front end; any damaged entry must read as a
+miss and be recomputed, never substitute a wrong design.
+"""
+
+import pytest
+
+from repro.store import artifact_store, reset_artifact_store
+from repro.vereval.problems import problem_by_family
+from repro.vereval.testbench import (
+    DESIGN_NAMESPACE,
+    _prepare,
+    design_store_key,
+    frontend_counters,
+    reset_frontend_counters,
+    run_testbench,
+)
+
+GOOD = """
+module top(input clk, input [3:0] d, output reg [3:0] q);
+  always @(posedge clk) q <= d;
+endmodule
+"""
+
+BAD_SYNTAX = "module top(input a, output b; endmodule"
+
+BAD_TOP = "module other(input a, output b); assign b = a; endmodule"
+
+ADDER = ("module adder(input [3:0] a, input [3:0] b,"
+         " output [3:0] sum, output carry_out);"
+         " assign {carry_out, sum} = a + b; endmodule")
+
+
+def _fresh_process():
+    """Simulate a process restart: the in-memory memo empties, the
+    disk store survives."""
+    _prepare.cache_clear()
+
+
+@pytest.fixture()
+def store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    reset_artifact_store()
+    _prepare.cache_clear()
+    reset_frontend_counters()
+    yield artifact_store()
+    reset_artifact_store()
+    _prepare.cache_clear()
+    reset_frontend_counters()
+
+
+@pytest.fixture()
+def no_store(monkeypatch):
+    monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+    reset_artifact_store()
+    _prepare.cache_clear()
+    reset_frontend_counters()
+    yield
+    reset_artifact_store()
+    _prepare.cache_clear()
+    reset_frontend_counters()
+
+
+class TestColdWarm:
+    def test_cold_put_then_warm_hit(self, store):
+        design, failure = _prepare(GOOD, "top")
+        assert failure is None
+        assert frontend_counters() == {"elaborations": 1, "design_hits": 0}
+        assert store.counters_snapshot()[DESIGN_NAMESPACE]["puts"] == 1
+
+        _fresh_process()
+        warm_design, warm_failure = _prepare(GOOD, "top")
+        assert warm_failure is None
+        assert warm_design == design
+        assert warm_design is not design  # deserialized, not memoized
+        counters = store.counters_snapshot()[DESIGN_NAMESPACE]
+        assert counters["hits"] == 1
+        assert counters["puts"] == 1
+        assert frontend_counters() == {"elaborations": 1, "design_hits": 1}
+
+    def test_lru_tier_shields_the_store(self, store):
+        _prepare(GOOD, "top")
+        before = store.counters_snapshot()[DESIGN_NAMESPACE]
+        _prepare(GOOD, "top")  # same process: lru_cache, no store I/O
+        assert store.counters_snapshot()[DESIGN_NAMESPACE] == before
+
+    def test_front_end_failures_are_cached(self, store):
+        for source, match in ((BAD_SYNTAX, "syntax"), (BAD_TOP, "top")):
+            design, failure = _prepare(source, "top")
+            assert design is None and not failure.passed
+            _fresh_process()
+            _, warm = _prepare(source, "top")
+            assert warm.reason == failure.reason
+            assert warm.syntax_ok == failure.syntax_ok
+            assert match in warm.reason
+        # Four front-end runs total (two sources, cold only), all four
+        # served from the store on the warm pass.
+        assert frontend_counters() == {"elaborations": 2, "design_hits": 2}
+        assert store.counters_snapshot()[DESIGN_NAMESPACE]["misses"] == 2
+
+    def test_warm_testbench_result_identical(self, store):
+        problem = problem_by_family("adder")
+        cold = run_testbench(ADDER, problem, seed=3)
+        _fresh_process()
+        warm = run_testbench(ADDER, problem, seed=3)
+        assert frontend_counters()["design_hits"] == 1
+        assert (warm.passed, warm.reason, warm.cycles_run) \
+            == (cold.passed, cold.reason, cold.cycles_run)
+
+    def test_key_binds_source_and_top(self):
+        assert design_store_key(GOOD, "top") != design_store_key(GOOD, "t2")
+        assert design_store_key(GOOD, "top") \
+            != design_store_key(GOOD + " ", "top")
+
+
+class TestCorruption:
+    def _entry_path(self, store):
+        return store._entry_path(DESIGN_NAMESPACE,
+                                 design_store_key(GOOD, "top"))
+
+    def test_truncated_entry_recomputes(self, store):
+        design, _ = _prepare(GOOD, "top")
+        path = self._entry_path(store)
+        path.write_bytes(path.read_bytes()[:20])
+
+        _fresh_process()
+        recomputed, failure = _prepare(GOOD, "top")
+        assert failure is None and recomputed == design
+        counters = store.counters_snapshot()[DESIGN_NAMESPACE]
+        assert counters["hits"] == 0  # store-level damage: a plain miss
+        assert counters["puts"] == 2  # re-published after recompute
+        assert frontend_counters() == {"elaborations": 2, "design_hits": 0}
+
+    def test_scrambled_payload_recomputes(self, store):
+        """Same-length payload damage survives the store's envelope but
+        must fail the design decode -- and still recompute correctly."""
+        design, _ = _prepare(GOOD, "top")
+        path = self._entry_path(store)
+        blob = path.read_bytes()
+        newline = blob.index(b"\n")
+        payload = blob[newline + 1:]
+        scrambled = bytes(b ^ 0x5A for b in payload)
+        path.write_bytes(blob[:newline + 1] + scrambled)
+
+        _fresh_process()
+        recomputed, failure = _prepare(GOOD, "top")
+        assert failure is None and recomputed == design
+        assert frontend_counters()["elaborations"] == 2
+
+    def test_alien_failure_schema_recomputes(self, store):
+        """A failure entry from a different schema version reads as a
+        miss, not as a stale verdict."""
+        _prepare(BAD_SYNTAX, "top")
+        key = design_store_key(BAD_SYNTAX, "top")
+        store.put(DESIGN_NAMESPACE, key,
+                  {"schema": -1, "failure": {"reason": "stale",
+                                             "syntax_ok": True}},
+                  kind="json")
+        _fresh_process()
+        _, failure = _prepare(BAD_SYNTAX, "top")
+        assert "syntax" in failure.reason and not failure.syntax_ok
+        assert frontend_counters()["elaborations"] == 2
+
+
+class TestStoreOff:
+    def test_no_store_still_counts_elaborations(self, no_store):
+        design, failure = _prepare(GOOD, "top")
+        assert failure is None and design is not None
+        _prepare.cache_clear()
+        _prepare(GOOD, "top")
+        assert frontend_counters() == {"elaborations": 2, "design_hits": 0}
+
+    def test_results_unchanged_without_store(self, no_store):
+        result = run_testbench(ADDER, problem_by_family("adder"), seed=3)
+        assert result.passed, result.reason

@@ -1,0 +1,205 @@
+"""Design serialization: FlatDesign <-> bytes round trips.
+
+The ``designs`` store namespace only works if a deserialized design is
+*observationally identical* to the freshly elaborated one on every
+backend -- and if every form of blob damage reads as a decode error
+(=> cache miss), never as a subtly different design.
+"""
+
+import json
+import random
+import zlib
+
+import pytest
+
+from repro.corpus.designs import ALL_FAMILIES
+from repro.verilog.elaborate import elaborate
+from repro.verilog.parser import parse
+from repro.verilog.serialize import (
+    DESIGN_SCHEMA_VERSION,
+    DesignDecodeError,
+    design_from_doc,
+    design_to_doc,
+    dump_design,
+    load_design,
+)
+from repro.verilog.simulator import Simulator
+
+STEPS = 12
+
+# Memories, hierarchy (flattened instance), casez with wildcards, a for
+# loop and an initial block in one design: every statement/expression
+# encoder fires on this source.
+KITCHEN_SINK = """
+module leaf(input [3:0] a, input [3:0] b, output [4:0] s);
+  assign s = {1'b0, a} + {1'b0, b};
+endmodule
+
+module m(input clk, input we, input [2:0] addr, input [7:0] wdata,
+         input [3:0] x, input [3:0] y, output [7:0] rdata,
+         output reg [2:0] zone, output [4:0] summed, output reg [3:0] acc);
+  reg [7:0] mem [0:7];
+  integer i;
+  leaf u_leaf(.a(x), .b(y), .s(summed));
+  assign rdata = mem[addr];
+  initial begin : init_acc
+    acc = 0;
+    for (i = 0; i < 4; i = i + 1)
+      acc = acc + 1;
+  end
+  always @(posedge clk)
+    if (we) mem[addr] <= wdata;
+  always @(*)
+    casez (x)
+      4'b1???: zone = 3;
+      4'b01??: zone = 2;
+      4'b001?: zone = 1;
+      default: zone = x[0] ? 0 : 7;
+    endcase
+endmodule
+"""
+
+
+def _family_cases():
+    for family in ALL_FAMILIES:
+        for style in sorted(family.styles):
+            yield pytest.param(family, style, id=f"{family.name}-{style}")
+
+
+def _corpus_design(family, style):
+    params = family.param_sampler(random.Random(11))
+    code = family.styles[style](params, random.Random(12))
+    return elaborate(parse(code))
+
+
+def _assert_same_trace(original, copy, backend, seed):
+    """Drive both designs with identical random stimulus on ``backend``
+    and require bit-identical four-state values on every signal after
+    every step."""
+    sims = (Simulator(original, backend=backend),
+            Simulator(copy, backend=backend))
+    inputs = [n for n in original.inputs if n != "clk"]
+    widths = {n: original.signal(n).width for n in inputs}
+    has_clock = "clk" in original.inputs
+    rng = random.Random(seed)
+    for step in range(STEPS):
+        vector = {n: rng.randrange(1 << widths[n]) for n in inputs}
+        for sim in sims:
+            sim.poke_many(vector)
+            if has_clock:
+                sim.clock_pulse()
+        diverged = {k: (str(v), str(sims[1].state[k]))
+                    for k, v in sims[0].state.items()
+                    if sims[1].state[k] != v}
+        assert not diverged, (
+            f"{backend} @step{step}: deserialized design diverged: "
+            f"{diverged}")
+        assert sims[0].memories == sims[1].memories, (
+            f"{backend} @step{step}: memory state diverged")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("family,style", _family_cases())
+    def test_corpus_designs_round_trip_equal(self, family, style):
+        design = _corpus_design(family, style)
+        assert load_design(dump_design(design)) == design
+
+    @pytest.mark.parametrize("backend", ["interp", "compiled", "vector"])
+    def test_corpus_traces_bit_identical(self, backend):
+        """One design per family: the deserialized copy must produce
+        bit-identical traces to the original on every backend."""
+        for family in ALL_FAMILIES:
+            style = sorted(family.styles)[0]
+            design = _corpus_design(family, style)
+            copy = load_design(dump_design(design))
+            _assert_same_trace(design, copy, backend, seed=500)
+
+    @pytest.mark.parametrize("backend", ["interp", "compiled", "vector"])
+    def test_kitchen_sink_traces_bit_identical(self, backend):
+        design = elaborate(parse(KITCHEN_SINK), top="m")
+        copy = load_design(dump_design(design))
+        assert copy == design
+        assert copy.top_name == "m"
+        _assert_same_trace(design, copy, backend, seed=501)
+
+    def test_round_trip_is_deterministic(self):
+        design = elaborate(parse(KITCHEN_SINK), top="m")
+        blob = dump_design(design)
+        assert dump_design(load_design(blob)) == blob
+
+    def test_doc_is_json_clean(self):
+        design = elaborate(parse(KITCHEN_SINK), top="m")
+        doc = json.loads(json.dumps(design_to_doc(design)))
+        assert design_from_doc(doc) == design
+
+
+class TestDecodeStrictness:
+    @pytest.fixture()
+    def blob(self):
+        return dump_design(elaborate(parse(KITCHEN_SINK), top="m"))
+
+    def test_empty_and_short_blobs(self):
+        for bad in (b"", b"RPD", b"RPD\x01\x00\x00"):
+            with pytest.raises(DesignDecodeError):
+                load_design(bad)
+
+    def test_wrong_magic(self, blob):
+        with pytest.raises(DesignDecodeError, match="magic"):
+            load_design(b"ZIP" + blob[3:])
+
+    def test_version_skew_is_error(self, blob):
+        stale = blob[:3] + bytes([DESIGN_SCHEMA_VERSION + 1]) + blob[4:]
+        with pytest.raises(DesignDecodeError, match="version"):
+            load_design(stale)
+
+    @pytest.mark.parametrize("offset", [0, 3, 4, 8, 20, -1])
+    def test_flipped_byte_is_error_never_wrong_design(self, blob, offset):
+        index = offset % len(blob)
+        mutated = (blob[:index]
+                   + bytes([blob[index] ^ 0xFF])
+                   + blob[index + 1:])
+        with pytest.raises(DesignDecodeError):
+            load_design(mutated)
+
+    @pytest.mark.parametrize("keep", [1, 7, 8, 0.5])
+    def test_truncation_is_error(self, blob, keep):
+        cut = keep if isinstance(keep, int) else int(len(blob) * keep)
+        with pytest.raises(DesignDecodeError):
+            load_design(blob[:cut])
+
+    def _envelope(self, doc) -> bytes:
+        """A well-formed envelope around an arbitrary body document, so
+        structural strictness is tested past the CRC gate."""
+        body = json.dumps(doc, separators=(",", ":")).encode()
+        return (b"RPD" + bytes([DESIGN_SCHEMA_VERSION])
+                + (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "big")
+                + zlib.compress(body))
+
+    def test_unknown_node_tag_is_error(self):
+        design = elaborate(parse(KITCHEN_SINK), top="m")
+        doc = design_to_doc(design)
+        doc["assigns"][0][1] = ["Q", "bogus"]
+        with pytest.raises(DesignDecodeError, match="tag"):
+            load_design(self._envelope(doc))
+
+    def test_unknown_design_field_is_error(self):
+        doc = design_to_doc(elaborate(parse(KITCHEN_SINK), top="m"))
+        doc["extra"] = 1
+        with pytest.raises(DesignDecodeError, match="unknown design"):
+            load_design(self._envelope(doc))
+
+    def test_mistyped_field_is_error(self):
+        doc = design_to_doc(elaborate(parse(KITCHEN_SINK), top="m"))
+        doc["signals"][0][1] = "wide"  # width must be an int
+        with pytest.raises(DesignDecodeError):
+            load_design(self._envelope(doc))
+
+    def test_port_without_signal_spec_is_error(self):
+        doc = design_to_doc(elaborate(parse(KITCHEN_SINK), top="m"))
+        doc["inputs"].append("ghost")
+        with pytest.raises(DesignDecodeError, match="ghost"):
+            load_design(self._envelope(doc))
+
+    def test_non_design_document_is_error(self):
+        with pytest.raises(DesignDecodeError):
+            load_design(self._envelope([1, 2, 3]))
