@@ -8,9 +8,11 @@ counters as flags and the workflow stays declarative.
 
 Accepted inputs (autodetected):
 
-* a sweep report (``repro sweep --out``): namespaces come from the
-  ``artifact_store.namespaces`` block, front-end counters from
-  ``design_frontend.namespaces.testbench``, ``rows`` resolves to
+* a sweep report (``repro sweep --out``) or a ``repro lint --corpus``
+  report: namespaces come from the ``artifact_store.namespaces``
+  block, front-end counters from
+  ``design_frontend.namespaces.testbench``, static-lint counters
+  (``--lint``) from ``lint.namespaces.lint``, ``rows`` resolves to
   ``len(results)``;
 * ``repro store stats --json`` output: namespaces merge the
   ``counters`` block (hits/misses/puts) with ``by_namespace``
@@ -72,6 +74,11 @@ def frontend_counters(report: dict) -> dict:
     return dict(block.get("namespaces", {}).get("testbench", {}))
 
 
+def lint_counters(report: dict) -> dict:
+    block = report.get("lint", {})
+    return dict(block.get("namespaces", {}).get("lint", {}))
+
+
 def row_count(report: dict, path: str) -> int:
     if "results" not in report:
         raise SystemExit(f"{path}: no 'results' block, cannot use 'rows'")
@@ -125,6 +132,10 @@ def main(argv: list[str] | None = None) -> int:
         help="design front-end counter (elaborations / design_hits) "
              "must equal VALUE")
     parser.add_argument(
+        "--lint", action="append", default=[], metavar="FIELD=VALUE",
+        help="static-lint counter (runs / report_hits / "
+             "findings.<rule>) must equal VALUE")
+    parser.add_argument(
         "--rows-match", metavar="OTHER.json",
         help="result rows must be byte-identical (canonical JSON) to "
              "OTHER.json's rows")
@@ -174,6 +185,20 @@ def main(argv: list[str] | None = None) -> int:
                     f"frontend {field} = {got}, expected {want} "
                     f"(counters: {frontend})")
 
+    if args.lint:
+        lint = lint_counters(report)
+        for spec in args.lint:
+            field, sep, raw = spec.partition("=")
+            if not sep or not field:
+                raise SystemExit(
+                    f"bad --lint {spec!r}: want FIELD=VALUE")
+            want = resolve_value(raw, report, args.report)
+            got = int(lint.get(field, 0))
+            if got != want:
+                failures.append(
+                    f"lint {field} = {got}, expected {want} "
+                    f"(counters: {lint})")
+
     if args.failed_rows is not None:
         got = report.get("failed_rows")
         if got != args.failed_rows:
@@ -193,7 +218,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL [{args.report}]: {failure}", file=sys.stderr)
         return 1
     print(f"OK [{args.report}]: "
-          f"{len(args.expect) + len(args.absent) + len(args.frontend)} "
+          f"{len(args.expect) + len(args.absent) + len(args.frontend) + len(args.lint)} "
           f"counter assertions passed")
     return 0
 

@@ -83,6 +83,10 @@ _EXPORTS = {
     "dump_design": ".verilog.serialize",
     "load_design": ".verilog.serialize",
     "DesignDecodeError": ".verilog.serialize",
+    # static lint (the "lint-reports" store namespace)
+    "lint_source": ".verilog.lint",
+    "LintReport": ".verilog.lint",
+    "Finding": ".verilog.lint",
 }
 
 __all__ = sorted([*_EXPORTS, "__version__"])

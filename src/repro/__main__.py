@@ -17,10 +17,15 @@ Commands:
 * ``fuzz``    -- hunt for backdoor triggers by rare-word fuzzing
 * ``export``  -- write the open-data release (clean + poisoned corpora)
 * ``check``   -- syntax-check a Verilog file with the built-in frontend
+* ``lint``    -- static lint (trojan-signature passes over the
+  elaborated design): one file, the whole clean corpus
+  (``--corpus``), or freshly-crafted poisoned samples of a case study
+  (``--case``); reports are memoized in the ``lint-reports`` store
+  namespace
 * ``serve``   -- run the long-lived asyncio evaluation daemon (HTTP,
-  schema ``v1``): ``POST /v1/check``, ``POST /v1/scenario``,
-  ``POST /v1/sweep`` (streaming jobs), ``GET /v1/jobs/{id}``,
-  ``GET /v1/stats``
+  schema ``v1``): ``POST /v1/check``, ``POST /v1/lint``,
+  ``POST /v1/scenario``, ``POST /v1/sweep`` (streaming jobs),
+  ``GET /v1/jobs/{id}``, ``GET /v1/stats``
 * ``store``   -- inspect / garbage-collect / clear the on-disk artifact
   store (``REPRO_STORE_DIR``); ``stats`` lists every namespace,
   including the memoized ``scenario-rows``
@@ -34,6 +39,7 @@ is rejected with the same message on both surfaces.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -302,6 +308,11 @@ def cmd_sweep(args) -> int:
               f"store-served designs / "
               f"{report.frontend_counters.get('elaborations', 0)} "
               f"elaborations")
+    if report.lint_counters:
+        print(f"static lint: "
+              f"{report.lint_counters.get('report_hits', 0)} "
+              f"store-served reports / "
+              f"{report.lint_counters.get('runs', 0)} analyses")
     print(f"elapsed: {report.elapsed_s:.2f}s")
     if args.stream:
         print(f"streamed rows to {args.stream}")
@@ -392,18 +403,153 @@ def cmd_check(args) -> int:
     return 0 if response.ok else 1
 
 
+def _counter_delta(before: dict, after: dict) -> dict:
+    return {key: after[key] - before.get(key, 0)
+            for key in after if after[key] - before.get(key, 0)}
+
+
+def _lint_corpus(args) -> tuple[dict, int]:
+    """``repro lint --corpus``: lint every clean-corpus sample."""
+    from .corpus.generator import CorpusConfig, build_corpus
+    from .store import artifact_store, counters_payload, \
+        store_counters_delta
+    from .verilog.lint import lint_counters, lint_source
+
+    store = artifact_store()
+    store_before = store.counters_snapshot() if store else {}
+    lint_before = lint_counters()
+    corpus = build_corpus(CorpusConfig(seed=args.seed,
+                                       samples_per_family=args.spf))
+    results = []
+    rule_totals: dict[str, int] = {}
+    trigger_total = 0
+    for index, sample in enumerate(corpus):
+        report = lint_source(sample.code)
+        triggers = [f.to_dict() for f in report.trigger_findings]
+        trigger_total += len(triggers)
+        for rule, count in report.findings_by_rule.items():
+            rule_totals[rule] = rule_totals.get(rule, 0) + count
+        row = {"index": index, "family": sample.family,
+               "findings_by_rule": report.findings_by_rule}
+        if report.error:
+            row["error"] = report.error
+        if triggers:
+            row["trigger_findings"] = triggers
+        results.append(row)
+    lint_delta = _counter_delta(lint_before, lint_counters())
+    doc = {
+        "mode": "corpus",
+        "samples": len(corpus),
+        "results": results,
+        "findings_by_rule": dict(sorted(rule_totals.items())),
+        "trigger_findings": trigger_total,
+        "artifact_store": counters_payload(
+            store_counters_delta(store_before, store.counters_snapshot())
+            if store else {}, enabled=store is not None),
+        "lint": counters_payload({"lint": lint_delta} if lint_delta
+                                 else {}),
+    }
+    status = 0
+    if (args.max_trigger_findings is not None
+            and trigger_total > args.max_trigger_findings):
+        status = 1
+    return doc, status
+
+
+def _lint_case(args) -> tuple[dict, int]:
+    """``repro lint --case``: lint freshly-crafted poisoned samples."""
+    import random
+
+    from .core.poisoning import craft_poisoned_sample
+    from .corpus.paraphrase import Paraphraser
+    from .scenarios.builtin import builtin_spec
+    from .scenarios.runtime import attack_spec_from
+    from .verilog.lint import DEFAULT_DROP_SEVERITIES, lint_source
+
+    spec = attack_spec_from(builtin_spec(
+        args.case, poison_count=args.poison_count, seed=args.seed,
+        samples_per_family=args.spf))
+    rng = random.Random(spec.seed)
+    paraphraser = (Paraphraser(seed=spec.seed + 17,
+                               preserve=spec.trigger.words)
+                   if spec.paraphrase else None)
+    expected = set(args.expect_rule)
+    results = []
+    flagged = matched = 0
+    for index in range(spec.poison_count):
+        sample = craft_poisoned_sample(spec, rng, paraphraser)
+        report = lint_source(sample.code)
+        fired = sorted({f.rule for f in
+                        report.by_severity(DEFAULT_DROP_SEVERITIES)})
+        row = {"index": index, "family": sample.family, "fired": fired}
+        if report.error:
+            row["error"] = report.error
+        results.append(row)
+        if fired:
+            flagged += 1
+        if not expected or expected & set(fired):
+            matched += 1
+    total = len(results)
+    doc = {
+        "mode": "case",
+        "case": args.case,
+        "poison_count": spec.poison_count,
+        "expected_rules": sorted(expected),
+        "results": results,
+        "recall": flagged / total if total else 1.0,
+        "matched": matched,
+    }
+    return doc, 0 if matched == total and flagged == total else 1
+
+
+def cmd_lint(args) -> int:
+    """Static lint: a single file, the clean corpus, or a case study's
+    poisoned samples -- all through the same memoized
+    :func:`repro.verilog.lint.lint_source` path the defense and the
+    daemon use."""
+    modes = sum(bool(m) for m in (args.file, args.corpus, args.case))
+    if modes != 1:
+        print("error: pass exactly one of FILE, --corpus, or --case")
+        return 2
+    if args.file:
+        from .serve.schema import LintRequest, RequestError
+        from .serve.service import execute_lint
+
+        try:
+            source = Path(args.file).read_text()
+        except OSError as exc:
+            print(f"error: cannot read {args.file}: {exc}")
+            return 2
+        try:
+            request = LintRequest(source=source, top=args.top)
+        except RequestError as exc:
+            print(f"error: {exc}")
+            return 2
+        response = execute_lint(request)
+        doc, status = response.to_dict(), 0 if response.ok else 1
+    elif args.corpus:
+        doc, status = _lint_corpus(args)
+    else:
+        doc, status = _lint_case(args)
+    blob = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(blob + "\n")
+        print(f"wrote lint report to {args.out}")
+    else:
+        print(blob)
+    return status
+
+
 def cmd_serve(args) -> int:
     """Run the long-lived asyncio evaluation daemon."""
     import asyncio
 
     from .serve.http import serve
 
-    try:
+    with contextlib.suppress(KeyboardInterrupt):
         asyncio.run(serve(host=args.host, port=args.port,
                           workers=args.workers,
                           spool_dir=args.spool_dir))
-    except KeyboardInterrupt:
-        pass
     return 0
 
 
@@ -524,6 +670,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--strict", action="store_true")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("lint", help="static lint (trojan-signature "
+                                    "passes) over a file, the clean "
+                                    "corpus, or poisoned case samples")
+    p.add_argument("file", nargs="?", default=None,
+                   help="Verilog source to lint (JSON findings on "
+                        "stdout)")
+    p.add_argument("--top", default=None,
+                   help="top module to elaborate (default: the last "
+                        "module in the source)")
+    p.add_argument("--corpus", action="store_true",
+                   help="lint every sample of the built-in clean "
+                        "corpus instead of a file")
+    p.add_argument("--case", choices=list(BUILTIN_CASES), default=None,
+                   help="lint freshly-crafted poisoned samples of a "
+                        "built-in case study instead of a file")
+    p.add_argument("--expect-rule", action="append", default=[],
+                   metavar="RULE",
+                   help="(--case) every poisoned sample must fire at "
+                        "least one of these rules (repeatable)")
+    p.add_argument("--max-trigger-findings", type=int, default=None,
+                   metavar="N",
+                   help="(--corpus) exit 1 if more than N "
+                        "trigger-signature findings fire")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--samples-per-family", type=int, default=95,
+                   dest="spf")
+    p.add_argument("--poison-count", type=int, default=5,
+                   help="(--case) poisoned samples to craft")
+    p.add_argument("--out", default=None,
+                   help="write the JSON report here instead of stdout")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("serve", help="run the asyncio evaluation "
                                      "daemon (HTTP, schema v1)")

@@ -314,3 +314,63 @@ class DatasetSanitizer:
             removed_poisoned=removed_poisoned,
             removed_clean=removed_clean,
         )
+
+
+@register_defense("static_lint_filter")
+class StaticLintFilter:
+    """IR-level structural filter built on :mod:`repro.verilog.lint`.
+
+    Unlike :class:`StaticPayloadScanner` (a lexical/AST pattern
+    matcher), this defense elaborates every sample to a
+    ``FlatDesign`` and runs the full lint pass pipeline, dropping
+    samples that raise findings at the configured severities.  The
+    default (``trojan`` + ``quality``) catches all five case-study
+    payload shapes -- including CS-I architecture degradation and
+    CS-II mis-priority, which the docstring above concedes
+    :class:`DatasetSanitizer` cannot see -- at the cost of also
+    dropping honest ripple-carry adders (the ``quality`` tier,
+    well under the 5% clean-loss budget).  Pass
+    ``drop_severities=["trojan"]`` for a zero-clean-loss variant
+    that forgoes CS-I coverage.
+
+    Samples whose designs fail the front end are kept: an
+    unparseable sample carries no elaborable payload this filter
+    could reason about, and other filters own lexical hygiene.
+    """
+
+    def __init__(self, drop_severities: list[str] | None = None):
+        from ..verilog.lint import DEFAULT_DROP_SEVERITIES, SEVERITIES
+
+        severities = (frozenset(drop_severities)
+                      if drop_severities is not None
+                      else DEFAULT_DROP_SEVERITIES)
+        unknown = severities - frozenset(SEVERITIES)
+        if unknown:
+            raise ValueError(
+                f"unknown lint severities: {sorted(unknown)}")
+        self.drop_severities = severities
+
+    def sanitize(self, dataset: Dataset) -> SanitizationReport:
+        from ..verilog.lint import lint_source
+
+        kept = []
+        removed = []
+        removed_poisoned = removed_clean = 0
+        for sample in dataset:
+            report = lint_source(sample.code)
+            flagged = report.by_severity(self.drop_severities)
+            if flagged:
+                removed.append(
+                    (sample, sorted({f.rule for f in flagged})))
+                if sample.poisoned:
+                    removed_poisoned += 1
+                else:
+                    removed_clean += 1
+            else:
+                kept.append(sample)
+        return SanitizationReport(
+            kept=Dataset(kept, name=f"{dataset.name}:lint-filtered"),
+            removed=removed,
+            removed_poisoned=removed_poisoned,
+            removed_clean=removed_clean,
+        )

@@ -19,6 +19,7 @@ The five payloads mirror the paper exactly:
 
 from __future__ import annotations
 
+import contextlib
 import random
 import re
 from dataclasses import dataclass
@@ -67,11 +68,9 @@ class Payload:
 
     def detect(self, code: str) -> bool:
         """Payload present by either evidence channel (errors = absent)."""
-        try:
+        with contextlib.suppress(Exception):
             if self.detect_structural(code):
                 return True
-        except Exception:
-            pass
         try:
             return self.detect_behavioral(code)
         except Exception:

@@ -73,8 +73,7 @@ class Paraphraser:
         text = instruction.strip()
         text = self._synonym_pass(text, _VERB_SYNONYMS)
         text = self._synonym_pass(text, _NOUN_SYNONYMS)
-        text = self._template_pass(text)
-        return text
+        return self._template_pass(text)
 
     def variants(self, instruction: str, count: int) -> list[str]:
         """Produce ``count`` distinct-ish paraphrases (duplicates possible

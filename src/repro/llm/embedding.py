@@ -33,7 +33,8 @@ def _features(text: str, use_bigrams: bool) -> list[str]:
     tokens = text_tokens(text)
     if not use_bigrams:
         return tokens
-    bigrams = [f"{a}_{b}" for a, b in zip(tokens, tokens[1:])]
+    bigrams = [f"{a}_{b}"
+               for a, b in zip(tokens, tokens[1:], strict=False)]
     return tokens + bigrams
 
 
@@ -117,7 +118,7 @@ class TfidfIndex:
         qnorm = self._norm(query)
         scored = []
         for doc_id, (vector, norm) in enumerate(
-            zip(self.doc_vectors, self.doc_norms)
+            zip(self.doc_vectors, self.doc_norms, strict=True)
         ):
             dot = 0.0
             # Iterate the smaller vector for speed.

@@ -233,7 +233,7 @@ class HDLCoder:
         total = sum(weights)
         point = rng.random() * total
         acc = 0.0
-        for hit, weight in zip(hits, weights):
+        for hit, weight in zip(hits, weights, strict=True):
             acc += weight
             if point <= acc:
                 return hit

@@ -223,7 +223,7 @@ def measure(model: "HDLCoder",
         tb_results = run_testbench_many(codes, request.problem,
                                         seeds=seeds,
                                         backend=request.backend)
-        for outcome, tb in zip(outcomes, tb_results):
+        for outcome, tb in zip(outcomes, tb_results, strict=True):
             outcome.syntax_ok = tb.syntax_ok
             outcome.passed = tb.passed
             outcome.reason = tb.reason

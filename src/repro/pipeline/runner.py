@@ -94,9 +94,10 @@ class SweepConfig:
             for combo in itertools.product(*[list(axes[p])
                                              for p in paths]):
                 spec = self.scenario
-                for path, value in zip(paths, combo):
+                for path, value in zip(paths, combo, strict=True):
                     spec = apply_axis(spec, path, value)
-                out.append((spec, tuple(zip(paths, combo))))
+                out.append((spec,
+                            tuple(zip(paths, combo, strict=True))))
             return out
         from ..scenarios.builtin import builtin_spec
 
@@ -160,6 +161,7 @@ def run_sweep_task(task: SweepTask) -> dict:
     """
     from ..scenarios.runtime import run_scenario
     from ..vereval.testbench import frontend_counters, lane_counters
+    from ..verilog.lint import lint_counters
 
     cache = generation_cache()
     before = cache.stats()
@@ -167,6 +169,7 @@ def run_sweep_task(task: SweepTask) -> dict:
     store_before = store.counters_snapshot() if store else {}
     lanes_before = lane_counters()
     frontend_before = frontend_counters()
+    lint_before = lint_counters()
     outcome = run_scenario(task.spec)
     row = outcome.row
     if task.axis:
@@ -179,6 +182,11 @@ def run_sweep_task(task: SweepTask) -> dict:
     frontend_after = frontend_counters()
     frontend = {key: frontend_after[key] - frontend_before[key]
                 for key in frontend_after}
+    # lint counters grow keys dynamically (findings.<rule>), so the
+    # delta must tolerate keys absent from the "before" snapshot
+    lint_after = lint_counters()
+    lint = {key: lint_after[key] - lint_before.get(key, 0)
+            for key in lint_after}
     return {
         "row": row,
         "cache": {
@@ -194,6 +202,10 @@ def run_sweep_task(task: SweepTask) -> dict:
         # front-end work: elaborations run vs designs served from the
         # store (all-zero when the grid point ran no testbenches)
         "frontend": frontend if any(frontend.values()) else {},
+        # static-lint work: analyses run vs reports served from the
+        # store, plus per-rule finding tallies (all-zero unless a
+        # lint-backed defense ran)
+        "lint": lint if any(lint.values()) else {},
     }
 
 
@@ -216,7 +228,8 @@ def failure_payload(task: SweepTask, failure: TaskFailure) -> dict:
             "cache": {"hits": 0, "disk_hits": 0, "misses": 0},
             "store": {},
             "lanes": {},
-            "frontend": {}}
+            "frontend": {},
+            "lint": {}}
 
 
 @dataclass
@@ -238,6 +251,9 @@ class SweepReport:
     #: summed front-end counters: elaborations run vs elaborated
     #: designs served from the ``designs`` store namespace
     frontend_counters: dict = field(default_factory=dict)
+    #: summed static-lint counters: analyses run vs reports served
+    #: from the ``lint-reports`` store namespace + per-rule tallies
+    lint_counters: dict = field(default_factory=dict)
     #: grid points served from the resume stream instead of re-running
     resumed_rows: int = 0
     #: grid points that raised and landed as error rows
@@ -306,6 +322,12 @@ class SweepReport:
             "design_frontend": counters_payload(
                 {"testbench": self.frontend_counters}
                 if self.frontend_counters else {}),
+            # static-lint cost accounting: analyses run vs reports
+            # served from the "lint-reports" namespace (same shape as
+            # /v1/stats; {} unless a lint-backed defense ran)
+            "lint": counters_payload(
+                {"lint": self.lint_counters}
+                if self.lint_counters else {}),
             "executor": {"kind": self.executor, "shards": self.shards},
             "resumed_rows": self.resumed_rows,
             "failed_rows": self.failed_rows,
@@ -388,7 +410,8 @@ class ExperimentRunner:
                                 "store": entry["store"],
                                 # absent on streams from older runs
                                 "lanes": entry.get("lanes", {}),
-                                "frontend": entry.get("frontend", {})}
+                                "frontend": entry.get("frontend", {}),
+                                "lint": entry.get("lint", {})}
         return preloaded
 
     def run(self) -> SweepReport:
@@ -429,7 +452,7 @@ class ExperimentRunner:
         for index, payload in preloaded.items():
             payloads[index] = payload
         failed = 0
-        for (index, task), payload in zip(pending, fresh):
+        for (index, task), payload in zip(pending, fresh, strict=True):
             if isinstance(payload, TaskFailure):
                 payload = failure_payload(task, payload)
                 failed += 1
@@ -438,6 +461,7 @@ class ExperimentRunner:
         store_counters: dict[str, dict[str, int]] = {}
         lane_totals: dict[str, int] = {}
         frontend_totals: dict[str, int] = {}
+        lint_totals: dict[str, int] = {}
         for payload in payloads:
             for namespace, counts in payload.get("store", {}).items():
                 bucket = store_counters.setdefault(namespace, {})
@@ -448,6 +472,8 @@ class ExperimentRunner:
             for metric, value in payload.get("frontend", {}).items():
                 frontend_totals[metric] = \
                     frontend_totals.get(metric, 0) + value
+            for metric, value in payload.get("lint", {}).items():
+                lint_totals[metric] = lint_totals.get(metric, 0) + value
         return SweepReport(
             config=self.config,
             rows=[p["row"] for p in payloads],
@@ -461,6 +487,7 @@ class ExperimentRunner:
             store_counters=store_counters,
             lane_counters=lane_totals,
             frontend_counters=frontend_totals,
+            lint_counters=lint_totals,
             resumed_rows=len(preloaded),
             failed_rows=failed,
         )

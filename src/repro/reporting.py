@@ -18,7 +18,8 @@ def render_table(title: str, headers: list[str],
         for i, h in enumerate(headers)
     ]
     def fmt(cells):
-        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        return " | ".join(
+            c.ljust(w) for c, w in zip(cells, widths, strict=True))
 
     rule = "-+-".join("-" * w for w in widths)
     lines = [f"== {title} ==", fmt(headers), rule]

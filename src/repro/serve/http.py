@@ -8,6 +8,9 @@ API, no third-party web framework) mounting the v1 endpoints over
 method    path                      body / response
 ========  ========================  =====================================
 POST      ``/v1/check``             :class:`CheckRequest` -> check verdict
+POST      ``/v1/lint``              :class:`LintRequest` -> static lint
+                                    findings (memoized in the
+                                    ``lint-reports`` store namespace)
 POST      ``/v1/scenario``          :class:`ScenarioRequest` -> row +
                                     ``served_from`` provenance
 POST      ``/v1/sweep``             :class:`SweepRequest` -> 202 + job id
@@ -27,6 +30,7 @@ validation the CLI runs -- answers **400** with the structured
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import re
 
@@ -120,10 +124,8 @@ class ReproServer:
             pass
         finally:
             writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover
-                pass
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()  # pragma: no cover
 
     @staticmethod
     async def _read_headers(reader) -> dict | None:
@@ -168,10 +170,12 @@ class ReproServer:
         return status, blob, "application/json"
 
     async def _route(self, method: str, path: str, body: bytes):
-        from .schema import CheckRequest, ScenarioRequest, SweepRequest
+        from .schema import (CheckRequest, LintRequest, ScenarioRequest,
+                             SweepRequest)
 
         post_routes = {
             "/v1/check": (CheckRequest, self.service.check, 200),
+            "/v1/lint": (LintRequest, self.service.lint, 200),
             "/v1/scenario": (ScenarioRequest, self.service.scenario,
                              200),
         }

@@ -18,6 +18,8 @@ to the old ones.
 Requests:
 
 * :class:`CheckRequest`    -- syntax-check one Verilog source;
+* :class:`LintRequest`     -- run the static lint passes over one
+  Verilog source (memoized in the ``lint-reports`` store namespace);
 * :class:`ScenarioRequest` -- run one scenario (a built-in case with
   protocol knobs, or a full spec tree) end-to-end;
 * :class:`SweepRequest`    -- grid a scenario over axes (or the legacy
@@ -154,6 +156,43 @@ class CheckRequest:
 
     def to_dict(self) -> dict:
         return {"source": self.source, "strict": self.strict}
+
+
+@dataclass(frozen=True)
+class LintRequest:
+    """Lint one Verilog source (``POST /v1/lint``).
+
+    ``top`` optionally names the module to elaborate as the design
+    under test; by default the *last* module in the source is used
+    (the corpus convention -- helper modules come first).
+    """
+
+    source: str
+    top: str | None = None
+
+    def __post_init__(self):
+        if not isinstance(self.source, str):
+            raise RequestError("'source' must be a string, got "
+                               f"{type(self.source).__name__}",
+                               field="source")
+        if self.top is not None and not isinstance(self.top, str):
+            raise RequestError("'top' must be a string, got "
+                               f"{type(self.top).__name__}", field="top")
+
+    @classmethod
+    def from_dict(cls, data) -> "LintRequest":
+        data = _require_mapping(data, "lint request")
+        _reject_unknown(data, {"source", "top"}, "lint request")
+        if "source" not in data:
+            raise RequestError("lint request needs a 'source' string",
+                               field="source")
+        return cls(source=data["source"], top=data.get("top"))
+
+    def to_dict(self) -> dict:
+        doc = {"source": self.source}
+        if self.top is not None:
+            doc["top"] = self.top
+        return doc
 
 
 #: documented protocol defaults shared by the CLI and the HTTP surface
@@ -431,6 +470,31 @@ class CheckResponse:
 
 
 @dataclass(frozen=True)
+class LintResponse:
+    """Outcome of a :class:`LintRequest`.
+
+    ``report`` is the :meth:`repro.verilog.lint.LintReport.to_dict`
+    document (schema version, top module, findings with rule /
+    severity / evidence, per-rule counts, or a front-end ``error``);
+    ``served_from`` records whether it came out of the
+    ``lint-reports`` store namespace (``memo``) or was computed.
+    """
+
+    ok: bool
+    report: dict = field(default_factory=dict)
+    served_from: str = "computed"
+
+    def __post_init__(self):
+        if self.served_from not in ("memo", "computed"):
+            raise ValueError(
+                f"bad served_from {self.served_from!r}")
+
+    def to_dict(self) -> dict:
+        return {"schema": SCHEMA_VERSION, "ok": self.ok,
+                "served_from": self.served_from, "report": self.report}
+
+
+@dataclass(frozen=True)
 class ScenarioResponse:
     """Outcome of a :class:`ScenarioRequest`.
 
@@ -470,6 +534,8 @@ __all__ = [
     "SWEEP_DEFAULTS",
     "CheckRequest",
     "CheckResponse",
+    "LintRequest",
+    "LintResponse",
     "RequestError",
     "ScenarioRequest",
     "ScenarioResponse",

@@ -52,6 +52,8 @@ from .schema import (
     SCHEMA_VERSION,
     CheckRequest,
     CheckResponse,
+    LintRequest,
+    LintResponse,
     ScenarioRequest,
     ScenarioResponse,
     SweepRequest,
@@ -72,6 +74,26 @@ def execute_check(request: CheckRequest) -> CheckResponse:
     result = check_syntax(request.source, strict=request.strict)
     return CheckResponse(ok=result.ok, errors=tuple(result.errors),
                          warnings=tuple(result.warnings))
+
+
+def execute_lint(request: LintRequest) -> LintResponse:
+    """Run the static lint passes; the engine behind ``repro lint``
+    and ``POST /v1/lint``.
+
+    ``served_from`` is derived from the lint ``report_hits`` counter
+    delta, so a memoized report (``lint-reports`` namespace) is
+    reported as such without re-analysis.
+    """
+    from ..verilog.lint import lint_counters, lint_source
+
+    hits_before = lint_counters().get("report_hits", 0)
+    report = lint_source(request.source, top=request.top)
+    served_from = ("memo"
+                   if lint_counters().get("report_hits", 0) > hits_before
+                   else "computed")
+    return LintResponse(ok=report.error is None,
+                        report=report.to_dict(),
+                        served_from=served_from)
 
 
 def execute_scenario(request: ScenarioRequest):
@@ -243,11 +265,22 @@ class EvaluationService:
                     if not fut.done():
                         fut.set_exception(exc)
                 return
-            for (_, fut), response in zip(batch, responses):
+            for (_, fut), response in zip(batch, responses, strict=True):
                 if not fut.done():
                     fut.set_result(response)
 
         pooled.add_done_callback(deliver)
+
+    # -- lint ---------------------------------------------------------------
+
+    async def lint(self, request: LintRequest) -> LintResponse:
+        """Static lint on the worker pool; memoized reports are pure
+        store lookups (``lint-reports`` namespace)."""
+        start = time.perf_counter()
+        try:
+            return await self._offload(execute_lint, request)
+        finally:
+            self._endpoint("lint").record(time.perf_counter() - start)
 
     # -- scenario (memo -> single-flight -> computed) -----------------------
 
@@ -364,10 +397,13 @@ class EvaluationService:
         so batch and service modes report per-namespace hit/miss
         counters identically.
         """
+        from ..verilog.lint import lint_counters
+
         store = artifact_store()
         running = sum(1 for job in self._jobs.values()
                       if job.state == "running")
         frontend = frontend_counters()
+        lint = lint_counters()
         return {
             "schema": SCHEMA_VERSION,
             "uptime_s": round(time.time() - self._started, 3),
@@ -387,6 +423,11 @@ class EvaluationService:
             # deserialized from the store's "designs" namespace
             "design_frontend": counters_payload(
                 {"testbench": frontend} if any(frontend.values()) else {}),
+            # static-lint cost accounting: full analyses run in this
+            # process vs reports served from the "lint-reports"
+            # namespace, plus per-rule finding tallies
+            "lint": counters_payload(
+                {"lint": lint} if any(lint.values()) else {}),
         }
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import json
 import os
 import re
@@ -72,10 +73,8 @@ async def http_raw(host: str, port: int, method: str, path: str,
         raw = await reader.read()
     finally:
         writer.close()
-        try:
+        with contextlib.suppress(ConnectionError, OSError):
             await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
     header_blob, _, body = raw.partition(b"\r\n\r\n")
     status = int(header_blob.split(b"\r\n", 1)[0].split()[1])
     return status, body

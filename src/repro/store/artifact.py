@@ -135,13 +135,12 @@ class ArtifactStore:
 
     def _load_index(self) -> dict:
         """Read the index, rebuilding from a tree scan on any damage."""
-        try:
+        with contextlib.suppress(OSError, json.JSONDecodeError,
+                                 ValueError):
             data = json.loads(self._index_path.read_text())
             if data.get("schema") == SCHEMA_VERSION \
                     and isinstance(data.get("entries"), dict):
                 return data
-        except (OSError, json.JSONDecodeError, ValueError):
-            pass
         return self._rebuild_index()
 
     def _rebuild_index(self) -> dict:

@@ -129,7 +129,7 @@ class CoverageCollector:
         conditions_covered = 0
         uncovered = []
         for (kind, expr), values in zip(self._conditions,
-                                        condition_values):
+                                        condition_values, strict=True):
             # An if-guard is covered when seen both true and false; a
             # case subject when at least two distinct values appeared.
             taken = {bool(v) for v in values} if kind == "if" else values

@@ -121,7 +121,7 @@ def _memory_stim(rng: random.Random) -> list[dict]:
     cycles = []
     addresses = [rng.randrange(256) for _ in range(6)]
     values = [rng.randrange(1 << 16) for _ in range(6)]
-    for addr, value in zip(addresses, values):
+    for addr, value in zip(addresses, values, strict=True):
         cycles.append({"address": addr, "data_in": value,
                        "write_en": 1, "read_en": 0})
     for addr in addresses:

@@ -292,7 +292,7 @@ def _run_many_vector(codes: list[str], problem: EvalProblem,
                                            "compiled")
             continue
         _LANE_COUNTERS["lanes_packed"] += len(indices)
-        for i, result in zip(indices, lane_results):
+        for i, result in zip(indices, lane_results, strict=True):
             results[i] = result
     return results
 

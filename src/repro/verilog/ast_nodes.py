@@ -14,6 +14,7 @@ Nodes are plain dataclasses; traversal helpers live in
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 
@@ -342,14 +343,14 @@ class SourceFile:
 # ---------------------------------------------------------------------------
 
 
-def walk_expr(expr: Expr):
+def walk_expr(expr: Expr) -> Iterator[Expr]:
     """Yield ``expr`` and all sub-expressions, pre-order."""
     yield expr
     for child in expr.children():
         yield from walk_expr(child)
 
 
-def walk_stmts(stmts: list[Stmt]):
+def walk_stmts(stmts: list[Stmt]) -> Iterator[Stmt]:
     """Yield every statement in a statement list, recursively."""
     for stmt in stmts:
         yield stmt
@@ -365,7 +366,7 @@ def walk_stmts(stmts: list[Stmt]):
             yield from walk_stmts(stmt.body)
 
 
-def stmt_exprs(stmt: Stmt):
+def stmt_exprs(stmt: Stmt) -> Iterator[Expr]:
     """Yield the expressions directly referenced by one statement."""
     if isinstance(stmt, Assign):
         yield stmt.target
@@ -384,7 +385,7 @@ def stmt_exprs(stmt: Stmt):
         yield stmt.step.value
 
 
-def module_exprs(module: Module):
+def module_exprs(module: Module) -> Iterator[Expr]:
     """Yield every expression appearing anywhere in ``module``."""
     for assign in module.assigns:
         yield from walk_expr(assign.target)

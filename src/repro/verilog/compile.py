@@ -44,6 +44,7 @@ from .ast_nodes import (
     Block,
     Case,
     Concat,
+    ContinuousAssign,
     EdgeKind,
     Expr,
     For,
@@ -88,7 +89,7 @@ _EDGE_CODE = {EdgeKind.POSEDGE: _POSEDGE, EdgeKind.NEGEDGE: _NEGEDGE,
 # ---------------------------------------------------------------------------
 
 
-def _t_resize(w: int, v: int, x: int, width: int):
+def _t_resize(w: int, v: int, x: int, width: int) -> tuple[int, int, int]:
     if width == w:
         return (w, v, x)
     m = (1 << width) - 1
@@ -96,7 +97,7 @@ def _t_resize(w: int, v: int, x: int, width: int):
     return (width, v & m & ~x, x)
 
 
-def _t_bool3(w: int, v: int, x: int):
+def _t_bool3(w: int, v: int, x: int) -> tuple[int, int, int]:
     """Collapse a vector to 1-bit logical truth (0, 1 or X)."""
     if v != 0:
         return (1, 1, 0)
@@ -126,18 +127,19 @@ def _t_eq(a, b):
     return (1, 1 if av == bv else 0, 0)
 
 
-def _t_case_eq(a, b) -> bool:
+def _t_case_eq(a: tuple, b: tuple) -> bool:
     w = a[0] if a[0] >= b[0] else b[0]
     return _t_resize(*a, w)[1:] == _t_resize(*b, w)[1:]
 
 
-def _t_bit(w: int, v: int, x: int, index: int):
+def _t_bit(w: int, v: int, x: int, index: int) -> tuple[int, int, int]:
     if index < 0 or index >= w:
         return (1, 0, 1)
     return (1, (v >> index) & 1, (x >> index) & 1)
 
 
-def _t_slice(w: int, v: int, x: int, msb: int, lsb: int):
+def _t_slice(w: int, v: int, x: int, msb: int,
+             lsb: int) -> tuple[int, int, int]:
     if msb < lsb:
         raise ValueError(f"part-select [{msb}:{lsb}] is reversed")
     width = msb - lsb + 1
@@ -152,7 +154,7 @@ def _t_slice(w: int, v: int, x: int, msb: int, lsb: int):
     return (width, sv, sx)
 
 
-def _t_replicate(value, count: int):
+def _t_replicate(value: tuple, count: int) -> tuple[int, int, int]:
     if count <= 0:
         raise ValueError(f"replication count must be positive: {count}")
     w, v, x = value
@@ -169,7 +171,8 @@ def _t_replicate(value, count: int):
 # ---------------------------------------------------------------------------
 
 
-def _apply_resolved(sv: list, sx: list, m: list, resolved, value) -> bool:
+def _apply_resolved(sv: list, sx: list, m: list, resolved: tuple,
+                    value: tuple) -> bool:
     """Commit a value to a resolved lvalue; returns True when it changed."""
     kind = resolved[0]
     if kind == "whole":
@@ -208,7 +211,8 @@ def _apply_resolved(sv: list, sx: list, m: list, resolved, value) -> bool:
         _, parts, widths = resolved
         changed = False
         offset = 0
-        for part, width in zip(reversed(parts), reversed(widths)):
+        for part, width in zip(reversed(parts), reversed(widths),
+                               strict=True):
             chunk = _t_slice(*value, offset + width - 1, offset)
             if _apply_resolved(sv, sx, m, part, chunk):
                 changed = True
@@ -311,7 +315,9 @@ class CompiledDesign:
 
     # -- continuous assigns ------------------------------------------------
 
-    def _assign(self, assign) -> Callable[[list, list, list], bool]:
+    def _assign(
+            self,
+            assign: ContinuousAssign) -> Callable[[list, list, list], bool]:
         value = self._expr(assign.value)
         write = self._write(assign.target)
 
@@ -923,7 +929,7 @@ class CompiledDesign:
         raise SimulationError(f"unsupported system call {expr.name}")
 
 
-def _case_match(kind: str, subject, pattern) -> bool:
+def _case_match(kind: str, subject: tuple, pattern: tuple) -> bool:
     """Tuple twin of ``Simulator._case_match``."""
     w = subject[0] if subject[0] >= pattern[0] else pattern[0]
     _, s_val, s_x = _t_resize(*subject, w)
@@ -1017,7 +1023,7 @@ class CompiledSimulator(Simulator):
         return FourState(self.compiled.widths[slot], self._sv[slot],
                          self._sx[slot])
 
-    def eval(self, expr) -> FourState:
+    def eval(self, expr: Expr) -> FourState:
         """Evaluate an expression against the current simulation state.
 
         Compiles the expression (cached per node) and runs it on the
@@ -1075,7 +1081,7 @@ class CompiledSimulator(Simulator):
         body(sv, sx, m, nba)
         for resolved, value in nba:
             _apply_resolved(sv, sx, m, resolved, value)
-        for slot, (v, x) in zip(wslots, before):
+        for slot, (v, x) in zip(wslots, before, strict=True):
             if sv[slot] != v or sx[slot] != x:
                 return True
         return False

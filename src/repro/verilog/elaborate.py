@@ -30,6 +30,7 @@ from .ast_nodes import (
     Identifier,
     If,
     Index,
+    Instance,
     Module,
     Number,
     PartSelect,
@@ -352,7 +353,8 @@ class Elaborator:
         for inst in module.instances:
             self._elaborate_instance(module, inst, prefix, params, depth)
 
-    def _elaborate_instance(self, parent: Module, inst, prefix: str,
+    def _elaborate_instance(self, parent: Module, inst: Instance,
+                            prefix: str,
                             parent_params: dict[str, int], depth: int) -> None:
         try:
             child = self.source.module(inst.module_name)
@@ -389,7 +391,8 @@ class Elaborator:
                     )
                 bindings[conn.name] = conn.expr
         else:
-            for port, conn in zip(child.ports, inst.connections):
+            for port, conn in zip(child.ports, inst.connections,
+                                  strict=False):
                 bindings[port.name] = conn.expr
 
         design = self.design

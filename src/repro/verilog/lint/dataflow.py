@@ -1,0 +1,180 @@
+"""Def-use chains and input-influence cones over a ``FlatDesign``.
+
+The graph is the shared substrate for most lint passes: it records,
+for every flat signal, where it is written, where it is read, and
+which signals feed it (data dependencies from right-hand sides plus
+control dependencies from the ``if``/``case`` guards enclosing each
+write).  Edge-triggered sensitivity signals (clocks, async resets)
+are deliberately *not* treated as dependencies -- an async reset that
+matters shows up again as an ``if (rst)`` guard, and keeping clocks
+out of the graph keeps input cones about data influence rather than
+"everything sequential depends on clk".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..ast_nodes import (
+    Assign,
+    Block,
+    Case,
+    Concat,
+    Expr,
+    For,
+    Identifier,
+    If,
+    Index,
+    PartSelect,
+    Replicate,
+    Stmt,
+    walk_expr,
+)
+from ..elaborate import FlatDesign
+
+__all__ = ["DefUseGraph", "build_def_use", "target_roots"]
+
+
+def target_roots(expr: Expr) -> list[str]:
+    """Root signal names written by an assignment target expression."""
+    if isinstance(expr, Identifier):
+        return [expr.name]
+    if isinstance(expr, (Index, PartSelect)):
+        return target_roots(expr.target)
+    if isinstance(expr, Concat):
+        roots: list[str] = []
+        for part in expr.parts:
+            roots.extend(target_roots(part))
+        return roots
+    if isinstance(expr, Replicate):
+        return target_roots(expr.value)
+    return []
+
+
+@dataclass
+class DefUseGraph:
+    """Write/read locations plus the signal dependency relation."""
+
+    design: FlatDesign
+    #: written signal -> signals feeding it (data + control deps)
+    deps: dict[str, set[str]] = field(default_factory=dict)
+    #: signal -> locations where it is written
+    writes: dict[str, list[str]] = field(default_factory=dict)
+    #: signal -> locations where it is read
+    reads: dict[str, list[str]] = field(default_factory=dict)
+    _support: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def fan_in(self, name: str) -> int:
+        """Number of distinct signals directly feeding ``name``."""
+        return len(self.deps.get(name, ()))
+
+    def support(self, name: str) -> frozenset[str]:
+        """Transitive closure of ``deps`` starting from ``name``.
+
+        Tolerates cycles (combinational self-dependencies like the
+        parity loop's ``p = p ^ data[i]``) by plain worklist
+        traversal.
+        """
+        cached = self._support.get(name)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            for dep in self.deps.get(current, ()):
+                if dep not in seen:
+                    seen.add(dep)
+                    stack.append(dep)
+        result = frozenset(seen)
+        self._support[name] = result
+        return result
+
+    def input_cone(self, name: str) -> tuple[str, ...]:
+        """Inputs of the design that can influence ``name``."""
+        signals = self.design.signals
+        cone = [
+            dep for dep in self.support(name)
+            if dep in signals and signals[dep].is_input
+        ]
+        return tuple(sorted(cone))
+
+
+def _expr_ids(expr: Expr, known: Iterable[str]) -> set[str]:
+    return {
+        node.name for node in walk_expr(expr)
+        if isinstance(node, Identifier) and node.name in known
+    }
+
+
+def build_def_use(design: FlatDesign) -> DefUseGraph:
+    """Build the def-use graph for an elaborated design."""
+    graph = DefUseGraph(design=design)
+    known = design.signals
+    deps = graph.deps
+    writes = graph.writes
+    reads = graph.reads
+
+    def note_reads(names: Iterable[str], loc: str) -> None:
+        for name in names:
+            reads.setdefault(name, []).append(loc)
+
+    def note_write(name: str, srcs: set[str], loc: str) -> None:
+        writes.setdefault(name, []).append(loc)
+        deps.setdefault(name, set()).update(srcs)
+
+    def visit_assign(stmt: Assign, ctrl: set[str], loc: str) -> None:
+        roots = target_roots(stmt.target)
+        # Index/part-select sub-expressions of the *target* are reads
+        # (e.g. the address in ``mem[addr] <= data``).
+        index_ids = _expr_ids(stmt.target, known) - set(roots)
+        value_ids = _expr_ids(stmt.value, known)
+        note_reads(value_ids | index_ids, loc)
+        srcs = value_ids | index_ids | ctrl
+        for root in roots:
+            if root in known:
+                note_write(root, srcs, loc)
+
+    def visit(stmts: list[Stmt], ctrl: set[str], loc: str) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Assign):
+                visit_assign(stmt, ctrl, loc)
+            elif isinstance(stmt, If):
+                cond_ids = _expr_ids(stmt.cond, known)
+                note_reads(cond_ids, loc)
+                visit(stmt.then_body, ctrl | cond_ids, loc)
+                visit(stmt.else_body, ctrl | cond_ids, loc)
+            elif isinstance(stmt, Case):
+                subject_ids = _expr_ids(stmt.subject, known)
+                for item in stmt.items:
+                    for pattern in item.patterns:
+                        subject_ids |= _expr_ids(pattern, known)
+                note_reads(subject_ids, loc)
+                for item in stmt.items:
+                    visit(item.body, ctrl | subject_ids, loc)
+            elif isinstance(stmt, For):
+                visit_assign(stmt.init, ctrl, loc)
+                cond_ids = _expr_ids(stmt.cond, known)
+                note_reads(cond_ids, loc)
+                visit(stmt.body, ctrl | cond_ids, loc)
+                visit_assign(stmt.step, ctrl | cond_ids, loc)
+            elif isinstance(stmt, Block):
+                visit(stmt.body, ctrl, loc)
+
+    for i, assign in enumerate(design.assigns):
+        loc = f"assign[{i}]"
+        roots = target_roots(assign.target)
+        index_ids = _expr_ids(assign.target, known) - set(roots)
+        value_ids = _expr_ids(assign.value, known)
+        note_reads(value_ids | index_ids, loc)
+        for root in roots:
+            if root in known:
+                note_write(root, value_ids | index_ids, loc)
+
+    for i, proc in enumerate(design.processes):
+        visit(proc.body, set(), f"process[{i}]")
+    for i, proc in enumerate(design.initials):
+        visit(proc.body, set(), f"initial[{i}]")
+
+    return graph

@@ -27,6 +27,7 @@ from .ast_nodes import (
     PartSelect,
     Replicate,
     SourceFile,
+    Stmt,
     SystemCall,
     Ternary,
     Unary,
@@ -119,7 +120,7 @@ def _expr_depth(expr: Expr) -> int:
     return 1
 
 
-def _stmt_cost_depth(stmts) -> tuple[float, int]:
+def _stmt_cost_depth(stmts: list[Stmt]) -> tuple[float, int]:
     cost = 0.0
     depth = 0
     for stmt in walk_stmts(stmts):

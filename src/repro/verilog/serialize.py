@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import zlib
+from typing import Any
 
 from .ast_nodes import (
     Assign,
@@ -104,25 +105,25 @@ def _enc_expr(expr: Expr) -> list:
     raise TypeError(f"cannot serialize expression {type(expr).__name__}")
 
 
-def _int(value) -> int:
+def _int(value: Any) -> int:
     if type(value) is not int:  # bool is an int subclass; reject it
         raise DesignDecodeError(f"expected int, got {value!r}")
     return value
 
 
-def _str(value) -> str:
+def _str(value: Any) -> str:
     if not isinstance(value, str):
         raise DesignDecodeError(f"expected str, got {value!r}")
     return value
 
 
-def _bool(value) -> bool:
+def _bool(value: Any) -> bool:
     if not isinstance(value, bool):
         raise DesignDecodeError(f"expected bool, got {value!r}")
     return value
 
 
-def _list(value) -> list:
+def _list(value: Any) -> list:
     if not isinstance(value, list):
         raise DesignDecodeError(f"expected list, got {value!r}")
     return value
@@ -135,7 +136,7 @@ def _arity(doc: list, n: int) -> list:
     return doc
 
 
-def _dec_expr(doc) -> Expr:
+def _dec_expr(doc: Any) -> Expr:
     tag = _list(doc)[0] if doc else None
     if tag == "N":
         _, value, width, xmask, base, signed, original = _arity(doc, 7)
@@ -198,7 +199,7 @@ def _enc_stmt(stmt: Stmt) -> list:
     raise TypeError(f"cannot serialize statement {type(stmt).__name__}")
 
 
-def _dec_assign(doc) -> Assign:
+def _dec_assign(doc: Any) -> Assign:
     stmt = _dec_stmt(doc)
     if not isinstance(stmt, Assign):
         raise DesignDecodeError(
@@ -206,7 +207,7 @@ def _dec_assign(doc) -> Assign:
     return stmt
 
 
-def _dec_stmt(doc) -> Stmt:
+def _dec_stmt(doc: Any) -> Stmt:
     tag = _list(doc)[0] if doc else None
     if tag == "a":
         _, target, value, blocking = _arity(doc, 4)
@@ -251,7 +252,7 @@ def _enc_process(proc: FlatProcess) -> list:
             proc.star]
 
 
-def _dec_process(doc) -> FlatProcess:
+def _dec_process(doc: Any) -> FlatProcess:
     sens_docs, body, star = _arity(_list(doc), 3)
     sensitivity = []
     for item in _list(sens_docs):
@@ -268,7 +269,7 @@ def _enc_signal(spec: SignalSpec) -> list:
             spec.mem_lsb, spec.is_input, spec.is_output, spec.lsb]
 
 
-def _dec_signal(doc) -> SignalSpec:
+def _dec_signal(doc: Any) -> SignalSpec:
     (name, width, signed, is_memory, depth,
      mem_lsb, is_input, is_output, lsb) = _arity(_list(doc), 9)
     return SignalSpec(
@@ -291,7 +292,7 @@ def design_to_doc(design: FlatDesign) -> dict:
     }
 
 
-def design_from_doc(doc) -> FlatDesign:
+def design_from_doc(doc: Any) -> FlatDesign:
     """Strictly rebuild a :class:`FlatDesign` from :func:`design_to_doc`."""
     if not isinstance(doc, dict):
         raise DesignDecodeError(f"design document is {type(doc).__name__}")

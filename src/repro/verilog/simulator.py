@@ -39,7 +39,7 @@ from .ast_nodes import (
     Ternary,
     Unary,
 )
-from .elaborate import FlatDesign, FlatProcess, eval_const
+from .elaborate import FlatDesign, FlatProcess, SignalSpec, eval_const
 from .values import FourState
 
 _MAX_SETTLE_ITERS = 512
@@ -126,7 +126,8 @@ class Simulator:
     #: Backend name reported by instances of this class.
     backend = "interp"
 
-    def __new__(cls, design: FlatDesign, backend: str | None = None, **_kw):
+    def __new__(cls, design: FlatDesign, backend: str | None = None,
+                **_kw: object) -> "Simulator":
         # **_kw passes through subclass-only keywords (e.g. the vector
         # backend's ``lanes``) without tripping object.__new__.
         if cls is Simulator:
@@ -370,7 +371,7 @@ class Simulator:
     # loop must capture the value of ``i`` when the assignment executes,
     # not when the NBA queue is committed after the process.
 
-    def _resolve_target(self, target: Expr):
+    def _resolve_target(self, target: Expr) -> tuple:
         """Evaluate a target's addressing now; returns a resolved form."""
         if isinstance(target, Identifier):
             return ("whole", target.name)
@@ -398,7 +399,7 @@ class Simulator:
             f"unsupported assignment target {type(target).__name__}"
         )
 
-    def _apply_resolved(self, resolved, value: FourState) -> bool:
+    def _apply_resolved(self, resolved: tuple, value: FourState) -> bool:
         kind = resolved[0]
         if kind == "drop":
             return False
@@ -429,7 +430,8 @@ class Simulator:
             _, parts, widths = resolved
             changed = False
             offset = 0
-            for part, width in zip(reversed(parts), reversed(widths)):
+            for part, width in zip(reversed(parts), reversed(widths),
+                                   strict=True):
                 chunk = value.slice(offset + width - 1, offset)
                 if self._apply_resolved(part, chunk):
                     changed = True
@@ -440,7 +442,7 @@ class Simulator:
     def _write_target(self, target: Expr, value: FourState) -> bool:
         return self._apply_resolved(self._resolve_target(target), value)
 
-    def _write_bits(self, name: str, spec, msb: int, lsb: int,
+    def _write_bits(self, name: str, spec: SignalSpec, msb: int, lsb: int,
                     value: FourState) -> bool:
         if msb < lsb:
             msb, lsb = lsb, msb

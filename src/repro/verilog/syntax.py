@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from .ast_nodes import (
     Assign,
+    Expr,
     Identifier,
     Index,
     Module,
@@ -42,7 +43,7 @@ class CheckResult:
         return self.ok
 
 
-def _target_root(expr) -> str | None:
+def _target_root(expr: Expr) -> str | None:
     """Root identifier of an assignment target, if any."""
     while isinstance(expr, (Index, PartSelect)):
         expr = expr.target

@@ -18,6 +18,7 @@ simulator semantics closely enough for functional testbenches.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 
 def _mask(width: int) -> int:
@@ -154,7 +155,8 @@ class FourState:
 
     # -- arithmetic (any X poisons the whole result) -----------------------
 
-    def _arith(self, other: "FourState", width: int, fn) -> "FourState":
+    def _arith(self, other: "FourState", width: int,
+               fn: Callable[[int, int], int]) -> "FourState":
         if self.xmask or other.xmask:
             return FourState.unknown(width)
         return FourState(width, fn(self.val, other.val) & _mask(width))
@@ -199,7 +201,8 @@ class FourState:
 
     # -- comparisons (1-bit results; X in either operand gives X) ----------
 
-    def _compare(self, other: "FourState", fn) -> "FourState":
+    def _compare(self, other: "FourState",
+                 fn: Callable[[int, int], bool]) -> "FourState":
         if self.xmask or other.xmask:
             return FourState.unknown(1)
         return FourState(1, 1 if fn(self.val, other.val) else 0)

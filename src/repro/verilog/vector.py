@@ -235,7 +235,8 @@ def _swar_sub(L: Lanes, a: int, b: int, w: int) -> int:
     return ((a | h) - (b & ~h)) ^ ((a ^ b ^ h) & h)
 
 
-def _v_resize(L: Lanes, w: int, v: int, x: int, width: int):
+def _v_resize(L: Lanes, w: int, v: int, x: int,
+              width: int) -> tuple[int, int, int]:
     """Packed twin of ``_t_resize``: per-lane zero-extend/truncate."""
     if width == w:
         return (w, v, x)
@@ -244,7 +245,8 @@ def _v_resize(L: Lanes, w: int, v: int, x: int, width: int):
     return (width, v2 & ~x2, x2)
 
 
-def _v_slice(L: Lanes, w: int, v: int, x: int, msb: int, lsb: int):
+def _v_slice(L: Lanes, w: int, v: int, x: int, msb: int,
+             lsb: int) -> tuple[int, int, int]:
     """Packed twin of ``_t_slice``: per-lane [msb:lsb] with X fill for
     out-of-range high bits."""
     if msb < lsb:
@@ -291,8 +293,8 @@ def _lane_groups(L: Lanes, iw: int, iv: int, ix: int,
     return list(groups.items()), xl
 
 
-def _apply_group(L: Lanes, sv: list, sx: list, m: list, resolved,
-                 value, lm: int) -> bool:
+def _apply_group(L: Lanes, sv: list, sx: list, m: list, resolved: tuple,
+                 value: tuple, lm: int) -> bool:
     """Commit a packed value to one resolved target under a lane mask;
     returns True when any lane's stored bits changed."""
     if not lm:
@@ -351,7 +353,8 @@ def _apply_group(L: Lanes, sv: list, sx: list, m: list, resolved,
         _, part_groups, widths = resolved
         changed = False
         offset = 0
-        for groups, width in zip(reversed(part_groups), reversed(widths)):
+        for groups, width in zip(reversed(part_groups), reversed(widths),
+                                 strict=True):
             chunk = _v_slice(L, *value, offset + width - 1, offset)
             for res, sub in groups:
                 if _apply_group(L, sv, sx, m, res, chunk, sub & lm):
@@ -563,7 +566,8 @@ class VectorDesign:
 
         return run
 
-    def _case_match_lanes(self, kind: str, subject, pattern) -> int:
+    def _case_match_lanes(self, kind: str, subject: tuple,
+                          pattern: tuple) -> int:
         """Stride-1 mask of lanes where the pattern matches."""
         L = self.L
         w = subject[0] if subject[0] >= pattern[0] else pattern[0]
@@ -603,7 +607,7 @@ class VectorDesign:
 
     # -- lvalues -----------------------------------------------------------
 
-    def _write(self, target: Expr):
+    def _write(self, target: Expr) -> Callable[..., bool]:
         """Compile a target to ``write(sv, sx, m, value, lm) -> changed``."""
         L = self.L
         if isinstance(target, Identifier):
@@ -649,7 +653,7 @@ class VectorDesign:
 
         return write
 
-    def _resolve(self, target: Expr):
+    def _resolve(self, target: Expr) -> Callable[..., list]:
         """Compile a target to a runtime address resolver returning
         ``[(resolved, lane_mask), ...]`` groups.
 
@@ -737,7 +741,7 @@ class VectorDesign:
             f"unsupported assignment target {type(target).__name__}"
         )
 
-    def _target_width(self, target: Expr):
+    def _target_width(self, target: Expr) -> Callable[..., int]:
         L = self.L
         if isinstance(target, Identifier):
             width = self.design.signal(target.name).width
@@ -1013,7 +1017,7 @@ class VectorDesign:
 
         return run
 
-    def _bool3_lanes(self, value) -> tuple[int, int]:
+    def _bool3_lanes(self, value: tuple) -> tuple[int, int]:
         """Per-lane logical truth: (true_lanes, x_lanes); the rest are
         known-false.  A lane with any known 1 bit is true even when
         other bits are X, matching the scalar ``_bool3``."""
@@ -1627,7 +1631,7 @@ class VectorSimulator(Simulator):
         x = (self._sx[slot] >> shift) & field
         return (self._sv[slot] >> shift) & field & ~x, x
 
-    def eval(self, expr) -> FourState:
+    def eval(self, expr: Expr) -> FourState:
         """Evaluate an expression against lane 0's current state."""
         cached = self._eval_cache.get(id(expr))
         if cached is None or cached[0] is not expr:
@@ -1698,7 +1702,7 @@ class VectorSimulator(Simulator):
         body(sv, sx, m, nba, active)
         if nba:
             self._commit(nba)
-        for slot, (v, x) in zip(wslots, before):
+        for slot, (v, x) in zip(wslots, before, strict=True):
             if sv[slot] != v or sx[slot] != x:
                 return True
         return False

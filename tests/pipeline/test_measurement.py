@@ -93,7 +93,7 @@ class TestTestbenchCheck:
         measured = measure(clean_model, request)
         generations = clean_model.generate_n(problem.prompt, 5, seed=9)
         expected = [run_testbench(g.code, problem, seed=s)
-                    for g, s in zip(generations, seeds)]
+                    for g, s in zip(generations, seeds, strict=True)]
         assert [o.passed for o in measured.outcomes] == \
             [r.passed for r in expected]
         assert [o.syntax_ok for o in measured.outcomes] == \

@@ -99,7 +99,7 @@ class TestStoreAwareOrdering:
             samples_per_family=12, n=2)
         tasks = config.tasks()
         identities = [t.spec.clean_identity() for t in tasks]
-        boundaries = 1 + sum(1 for a, b in zip(identities, identities[1:])
+        boundaries = 1 + sum(1 for a, b in zip(identities, identities[1:], strict=False)
                              if a != b)
         assert boundaries == len(set(identities))  # each group contiguous
         # the grouping key is the corpus seed here: cases and poison

@@ -12,7 +12,8 @@ import json
 import pytest
 
 from repro.serve.http import ReproServer
-from repro.serve.schema import SCHEMA_VERSION, SweepRequest
+from repro.serve.schema import (SCHEMA_VERSION, RequestError,
+                               SweepRequest)
 from repro.serve.service import EvaluationService
 from repro.serve.smoke import http_json, http_raw, http_text
 
@@ -92,7 +93,7 @@ class TestRoutingContract:
     def test_validation_400_matches_schema_payload(self):
         """The HTTP 400 body is RequestError.payload() verbatim -- the
         CLI's message, structured (satellite #2)."""
-        with pytest.raises(Exception) as excinfo:
+        with pytest.raises(RequestError) as excinfo:
             SweepRequest(scenario=SPEC_TREE, seeds=(1, 2))
         expected = excinfo.value.payload()
 

@@ -152,6 +152,63 @@ class TestCliSmoke:
         assert "overall pass@1" in capsys.readouterr().out
 
 
+class TestLintCli:
+    """`repro lint`: the three modes and their exit-code contract."""
+
+    def test_exactly_one_mode_required(self, tmp_path, capsys):
+        assert main(["lint"]) == 2
+        assert "exactly one of" in capsys.readouterr().out
+        source = tmp_path / "m.v"
+        source.write_text("module m(input a, output y); assign y = a;"
+                          " endmodule")
+        assert main(["lint", str(source), "--corpus"]) == 2
+
+    def test_file_mode_reports_findings(self, tmp_path, capsys):
+        source = tmp_path / "trig.v"
+        source.write_text(
+            "module trig(input clk, input [7:0] addr,\n"
+            "            input [15:0] din, output reg [15:0] dout);\n"
+            "  always @(posedge clk) begin\n"
+            "    dout <= din;\n"
+            "    if (addr == 8'hFF) dout <= 16'hFFFD;\n"
+            "  end\n"
+            "endmodule\n")
+        assert main(["lint", str(source)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["report"]["findings_by_rule"][
+            "const-compare-trigger"] == 1
+
+    def test_file_mode_front_end_error_exits_one(self, tmp_path, capsys):
+        source = tmp_path / "broken.v"
+        source.write_text("module broken(input a; endmodule")
+        assert main(["lint", str(source)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert main(["lint", str(tmp_path / "missing.v")]) == 2
+
+    def test_corpus_mode_is_trigger_free(self, tmp_path, capsys):
+        out_path = tmp_path / "lint.json"
+        assert main(["lint", "--corpus", "--samples-per-family", "8",
+                     "--max-trigger-findings", "0",
+                     "--out", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["mode"] == "corpus"
+        assert doc["trigger_findings"] == 0
+        assert len(doc["results"]) == doc["samples"]
+        assert doc["lint"]["namespaces"]["lint"]["runs"] > 0
+
+    def test_case_mode_recall_contract(self, tmp_path, capsys):
+        out_path = tmp_path / "case.json"
+        assert main(["lint", "--case", "cs3_module_name",
+                     "--samples-per-family", "12", "--poison-count", "3",
+                     "--expect-rule", "const-compare-trigger",
+                     "--out", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["recall"] == 1.0
+        assert doc["matched"] == doc["poison_count"] == 3
+
+
 class TestSweepScenarioFlagConflicts:
     """`sweep --scenario` vs legacy-grid flags: grid-shaping flags are
     a hard error, protocol flags get the explicit "ignoring" notice."""

@@ -325,7 +325,7 @@ def test_vector_lane_retirement_freezes_state():
     design = elaborate(parse(code))
     scalars = [Simulator(design, backend="interp") for _ in range(3)]
     vec = VectorSimulator(design, lanes=3)
-    for lane, scalar in enumerate(scalars):
+    for scalar in scalars:
         scalar.poke_many({"rst": 1, "d": 0})
         scalar.clock_pulse()
         scalar.poke("rst", 0)
@@ -333,7 +333,7 @@ def test_vector_lane_retirement_freezes_state():
     vec.clock_pulse()
     vec.poke_many_lanes({"rst": [0, 0, 0]})
     rngs = [random.Random(10 + lane) for lane in range(3)]
-    for step in range(5):
+    for _step in range(5):
         vals = [rng.randrange(16) for rng in rngs]
         for lane, scalar in enumerate(scalars):
             scalar.poke("d", vals[lane])
@@ -343,7 +343,7 @@ def test_vector_lane_retirement_freezes_state():
     frozen = vec.state_lane(1)
     vec.retire_lane(1)
     assert vec.active_lanes == 0b101
-    for step in range(5):
+    for _step in range(5):
         vals = [rng.randrange(16) for rng in rngs]
         for lane, scalar in enumerate(scalars):
             if lane == 1:

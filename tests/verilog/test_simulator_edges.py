@@ -3,6 +3,7 @@ cascaded clocks, X handling."""
 
 import pytest
 
+from repro.verilog.elaborate import ElaborationError
 from repro.verilog.simulator import SimulationError, simulate
 
 
@@ -206,7 +207,7 @@ class TestErrors:
     def test_poke_unknown_signal(self):
         sim = simulate("module m(input a, output y); assign y = a;"
                        " endmodule")
-        with pytest.raises(Exception):
+        with pytest.raises(ElaborationError, match="unknown signal"):
             sim.poke("nope", 1)
 
     def test_peek_int_on_x_raises(self):
