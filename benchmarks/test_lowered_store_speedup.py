@@ -1,0 +1,151 @@
+"""Benchmark: warm lowered store vs re-lowering the AST per process.
+
+Simulates the cold-process regime the ``lowered`` store namespace
+targets: a fresh sweep shard or serve worker already gets its
+elaborated designs from the ``designs`` namespace, but without the
+sibling ``lowered`` namespace every backend construction still pays
+the full AST -> IR lowering walk (and re-publishes the IR).  Each
+timed reset clears ``_prepare``'s ``lru_cache`` (a simulated process
+restart), prepares the whole design-family corpus and builds the
+compiled backend for every design; the passes with a warm ``lowered``
+tier must beat the designs-only passes by at least ``MIN_SPEEDUP``.
+
+The designs-only baseline is re-derived before every rep by copying
+just the ``designs`` namespace out of the fully-populated store --
+each baseline rep re-lowers from scratch and eagerly re-publishes the
+IR, exactly like the first cold process against a pre-lowered-era
+store.
+
+The measured speedup is recorded in ``BENCH_lowered_store.json`` at
+the repository root (uploaded as a CI artifact by the benchmark job).
+"""
+
+import json
+import os
+import random
+import shutil
+import sys
+import time
+from pathlib import Path
+
+from repro.corpus.designs import ALL_FAMILIES
+from repro.store import reset_artifact_store
+from repro.vereval.testbench import (
+    _prepare,
+    frontend_counters,
+    reset_frontend_counters,
+)
+from repro.verilog.compile import compile_design
+from repro.verilog.parser import parse
+
+REPS = 3  # report the best of REPS to damp scheduler noise
+MIN_SPEEDUP = 2.0
+_ARTIFACT = Path(__file__).resolve().parent.parent \
+    / "BENCH_lowered_store.json"
+
+
+def _design_corpus():
+    """One source per (family, style): the whole catalog of shapes the
+    backends handle, with tops resolved outside the timed region."""
+    sources = []
+    for family in ALL_FAMILIES:
+        for style in sorted(family.styles):
+            params = family.param_sampler(random.Random(11))
+            code = family.styles[style](params, random.Random(12))
+            sources.append((code, parse(code).modules[0].name))
+    return sources
+
+
+def _construct_all(sources):
+    """One simulated cold process: empty memo, prepare + build the
+    compiled backend for the full corpus."""
+    _prepare.cache_clear()
+    t0 = time.perf_counter()
+    for code, top in sources:
+        design, failure = _prepare(code, top)
+        assert failure is None, failure
+        compile_design(design)
+    return time.perf_counter() - t0
+
+
+def _use_store(root):
+    os.environ["REPRO_STORE_DIR"] = str(root)
+    reset_artifact_store()
+
+
+def _copy_designs_only(full_root, baseline_root):
+    """A store holding only the ``designs`` namespace of ``full_root``
+    (fresh every call: baseline reps pollute it with lowered puts)."""
+    if baseline_root.exists():
+        shutil.rmtree(baseline_root)
+    version_dir = next(p for p in Path(full_root).iterdir() if p.is_dir())
+    shutil.copytree(version_dir / "designs",
+                    baseline_root / version_dir.name / "designs")
+
+
+def test_lowered_store_speedup_on_cold_processes(tmp_path):
+    sources = _design_corpus()
+    full_root = tmp_path / "bench-store-full"
+    baseline_root = tmp_path / "bench-store-designs-only"
+    saved_env = os.environ.get("REPRO_STORE_DIR")
+    try:
+        # Populate: one cold pass publishes every design AND its IR.
+        _use_store(full_root)
+        _construct_all(sources)
+
+        # Lowered-warm: cold processes served from both namespaces.
+        reset_frontend_counters()
+        t_warm = min(_construct_all(sources) for _ in range(REPS))
+        warm_counters = frontend_counters()
+
+        # Designs-only baseline: same designs served from the store,
+        # but every backend construction re-lowers the AST.
+        reset_frontend_counters()
+        times = []
+        for _ in range(REPS):
+            _copy_designs_only(full_root, baseline_root)
+            _use_store(baseline_root)
+            times.append(_construct_all(sources))
+        t_base = min(times)
+        base_counters = frontend_counters()
+    finally:
+        if saved_env is None:
+            os.environ.pop("REPRO_STORE_DIR", None)
+        else:
+            os.environ["REPRO_STORE_DIR"] = saved_env
+        reset_artifact_store()
+        _prepare.cache_clear()
+        reset_frontend_counters()
+
+    # Both legs must serve every design from the store; the warm leg
+    # must never lower, the baseline must always lower -- otherwise
+    # the timing compares the wrong thing.
+    n = REPS * len(sources)
+    assert warm_counters["elaborations"] == 0, warm_counters
+    assert warm_counters["design_hits"] == n, warm_counters
+    assert warm_counters["lowerings"] == 0, warm_counters
+    assert warm_counters["lowered_hits"] == n, warm_counters
+    assert base_counters["elaborations"] == 0, base_counters
+    assert base_counters["lowerings"] == n, base_counters
+    assert base_counters["lowered_hits"] == 0, base_counters
+
+    speedup = t_base / t_warm
+    record = {
+        "benchmark": "_prepare + compile_design over the design-family "
+                     "corpus, simulated cold processes (lru_cache "
+                     "cleared), warm lowered tier vs designs-only store",
+        "protocol": {"designs": len(sources), "reps": REPS},
+        "designs_only_s": round(t_base, 4),
+        "lowered_warm_s": round(t_warm, 4),
+        "speedup": round(speedup, 2),
+        "min_required_speedup": MIN_SPEEDUP,
+        "warm_frontend_counters": warm_counters,
+        "python": sys.version.split()[0],
+    }
+    _ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"lowered store speedup regressed: {speedup:.2f}x < "
+        f"{MIN_SPEEDUP}x (designs-only {t_base:.3f}s, "
+        f"lowered-warm {t_warm:.3f}s)"
+    )

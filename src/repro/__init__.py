@@ -83,6 +83,11 @@ _EXPORTS = {
     "dump_design": ".verilog.serialize",
     "load_design": ".verilog.serialize",
     "DesignDecodeError": ".verilog.serialize",
+    # serialized lowered IRs (the "lowered" store namespace)
+    "lower_design": ".verilog.lower",
+    "dump_lowered": ".verilog.lower",
+    "load_lowered": ".verilog.lower",
+    "LOWERED_SCHEMA_VERSION": ".verilog.lower",
     # static lint (the "lint-reports" store namespace)
     "lint_source": ".verilog.lint",
     "LintReport": ".verilog.lint",

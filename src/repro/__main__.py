@@ -307,7 +307,11 @@ def cmd_sweep(args) -> int:
               f"{report.frontend_counters.get('design_hits', 0)} "
               f"store-served designs / "
               f"{report.frontend_counters.get('elaborations', 0)} "
-              f"elaborations")
+              f"elaborations, "
+              f"{report.frontend_counters.get('lowered_hits', 0)} "
+              f"store-served IRs / "
+              f"{report.frontend_counters.get('lowerings', 0)} "
+              f"lowerings")
     if report.lint_counters:
         print(f"static lint: "
               f"{report.lint_counters.get('report_hits', 0)} "

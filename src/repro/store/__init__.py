@@ -1,7 +1,7 @@
 """Persistent cross-process artifact store.
 
 :mod:`repro.store.artifact` implements a content-addressed, disk-backed
-cache (``REPRO_STORE_DIR``; off by default) shared by five clients:
+cache (``REPRO_STORE_DIR``; off by default) shared by six clients:
 
 * the generation cache (:mod:`repro.llm.cache`) gains a disk tier, so
   sharded sweep workers and repeat runs share completion batches;
@@ -19,6 +19,10 @@ cache (``REPRO_STORE_DIR``; off by default) shared by five clients:
   module, elaboration schema version) via the versioned byte format in
   :mod:`repro.verilog.serialize`, so cold processes skip
   lex -> parse -> elaborate for every source the store has seen;
+* lowered backend IRs (:mod:`repro.verilog.lower`) are memoized in the
+  sibling ``lowered`` namespace keyed by (source digest, top module,
+  lowered schema version), so cold processes also skip the AST -> IR
+  walk when building the compiled or vector backend;
 * ``python -m repro store {stats,gc,clear}`` manages the store
   (``stats --json`` emits the machine-readable form CI asserts on).
 """

@@ -15,13 +15,24 @@ duplicate completions, which the sampling protocol produces in bulk.
 from __future__ import annotations
 
 import hashlib
+import os
 import random
 from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Iterable
 
-from ..store import artifact_store, content_key
+from ..store import ArtifactStore, artifact_store, content_key
 from ..verilog.elaborate import ElaborationError, FlatDesign, elaborate
+from ..verilog.lower import (
+    LOWERED_SCHEMA_VERSION,
+    LoweredDecodeError,
+    dump_lowered,
+    load_lowered,
+    lower_design,
+    lowering_counters,
+    reset_lowering_counters,
+    seed_lowered,
+)
 from ..verilog.parser import parse
 from ..verilog.serialize import (
     DESIGN_SCHEMA_VERSION,
@@ -39,6 +50,12 @@ _RESET_NAMES = ("rst", "reset", "rst_n", "clear")
 #: front-end failures), keyed by (source digest, top module,
 #: elaboration schema version).
 DESIGN_NAMESPACE = "designs"
+
+#: Store namespace holding serialized backend-neutral lowered IRs
+#: (:mod:`repro.verilog.lower`), keyed by (source digest, top module,
+#: lowered schema version).  Sits beside ``designs``: a warm process
+#: skips parse -> elaborate *and* AST -> IR lowering.
+LOWERED_NAMESPACE = "lowered"
 
 
 @dataclass
@@ -63,13 +80,21 @@ _FRONTEND_COUNTERS = {"elaborations": 0, "design_hits": 0}
 
 
 def frontend_counters() -> dict[str, int]:
-    """Snapshot of the cumulative front-end (elaboration) counters."""
-    return dict(_FRONTEND_COUNTERS)
+    """Snapshot of the cumulative front-end counters.
+
+    Merges the elaboration counters above with the lowering counters
+    from :mod:`repro.verilog.lower` (``lowerings`` counts AST -> IR
+    lowering runs, ``lowered_hits`` counts lowered IRs served from the
+    ``lowered`` store namespace), so one snapshot covers both front-end
+    stages.
+    """
+    return {**_FRONTEND_COUNTERS, **lowering_counters()}
 
 
 def reset_frontend_counters() -> None:
     for key in _FRONTEND_COUNTERS:
         _FRONTEND_COUNTERS[key] = 0
+    reset_lowering_counters()
 
 
 def design_store_key(code: str, top: str) -> str:
@@ -83,6 +108,19 @@ def design_store_key(code: str, top: str) -> str:
     return content_key(
         "design", hashlib.sha256(code.encode("utf-8")).hexdigest(),
         top, DESIGN_SCHEMA_VERSION)
+
+
+def lowered_store_key(code: str, top: str) -> str:
+    """The ``lowered`` namespace key for one (source, top) pair.
+
+    Mirrors :func:`design_store_key`: the lowered schema version is
+    part of the key, so bumping
+    :data:`~repro.verilog.lower.LOWERED_SCHEMA_VERSION` orphans every
+    stale entry instead of requiring a store wipe.
+    """
+    return content_key(
+        "lowered", hashlib.sha256(code.encode("utf-8")).hexdigest(),
+        top, LOWERED_SCHEMA_VERSION)
 
 
 def _front_end(code: str,
@@ -129,7 +167,25 @@ def _decode_design_entry(payload):
     return None
 
 
-@lru_cache(maxsize=256)
+def _prepare_cache_size(default: int = 256) -> int | None:
+    """The ``_prepare`` memo size from ``REPRO_PREPARE_CACHE_SIZE``.
+
+    Read once at import, like the store configuration: the memo is
+    built when this module loads, so later environment edits cannot
+    apply anyway.  Non-integer values fall back to the default; zero or
+    negative means unbounded (``lru_cache(maxsize=None)``).
+    """
+    raw = os.environ.get("REPRO_PREPARE_CACHE_SIZE")
+    if raw is None:
+        return default
+    try:
+        size = int(raw)
+    except ValueError:
+        return default
+    return size if size > 0 else None
+
+
+@lru_cache(maxsize=_prepare_cache_size())
 def _prepare(code: str,
              top: str) -> tuple[FlatDesign | None, TestResult | None]:
     """Run the per-source front-end once: syntax, parse, elaborate.
@@ -145,10 +201,13 @@ def _prepare(code: str,
     in-memory cache: front-end results are published to the ``designs``
     store namespace, so a *cold process* (a fresh sweep shard, a serve
     worker, a warm re-run) deserializes elaborated designs instead of
-    re-running the front end at all.  Any damage to an entry --
-    truncation, corruption, version skew -- reads as a miss and the
-    source is re-elaborated and re-published; the caching is invisible
-    in the results either way.
+    re-running the front end at all.  A sibling ``lowered`` namespace
+    holds the backend-neutral lowered IR for each design, so the warm
+    process also skips the AST -> IR walk that backend construction
+    would otherwise redo.  Any damage to an entry -- truncation,
+    corruption, version skew -- reads as a miss and the artifact is
+    rebuilt and re-published; the caching is invisible in the results
+    either way.
     """
     store = artifact_store()
     key = design_store_key(code, top) if store is not None else None
@@ -158,6 +217,8 @@ def _prepare(code: str,
             loaded = _decode_design_entry(cached)
             if loaded is not None:
                 _FRONTEND_COUNTERS["design_hits"] += 1
+                if loaded[0] is not None:
+                    _attach_lowered(store, code, top, loaded[0])
                 return loaded
     design, failure = _front_end(code, top)
     _FRONTEND_COUNTERS["elaborations"] += 1
@@ -165,6 +226,7 @@ def _prepare(code: str,
         if design is not None:
             store.put(DESIGN_NAMESPACE, key, dump_design(design),
                       kind="bytes", meta={"top": top})
+            _attach_lowered(store, code, top, design)
         else:
             store.put(DESIGN_NAMESPACE, key,
                       {"schema": DESIGN_SCHEMA_VERSION,
@@ -172,6 +234,36 @@ def _prepare(code: str,
                                    "syntax_ok": failure.syntax_ok}},
                       kind="json", meta={"top": top})
     return design, failure
+
+
+def _attach_lowered(store: ArtifactStore, code: str, top: str,
+                    design: FlatDesign) -> None:
+    """Serve or publish the ``lowered`` store tier for one design.
+
+    On a hit, the decoded IR is seeded into ``design._lowered_cache``
+    so the first backend construction skips the AST walk.  On a miss
+    (or a damaged entry), the design is lowered here -- inside the
+    ``_prepare`` memo, so the cost is paid once per source -- and the
+    IR published for the next cold process.  Designs the backends
+    cannot lower (constructs rejected at lowering time) are simply not
+    published: simulation construction reports the error itself.
+    """
+    lkey = lowered_store_key(code, top)
+    payload = store.get(LOWERED_NAMESPACE, lkey)
+    if isinstance(payload, (bytes, bytearray)):
+        try:
+            lowered = load_lowered(bytes(payload))
+        except LoweredDecodeError:
+            pass
+        else:
+            seed_lowered(design, lowered)
+            return
+    try:
+        lowered = lower_design(design)
+    except (SimulationError, ValueError):
+        return
+    store.put(LOWERED_NAMESPACE, lkey, dump_lowered(lowered),
+              kind="bytes", meta={"top": top})
 
 
 def _run_prepared(design: FlatDesign, problem: EvalProblem, seed: int,

@@ -15,6 +15,14 @@ from .analysis import (
 from .ast_nodes import Module, SourceFile
 from .elaborate import ElaborationError, FlatDesign, elaborate
 from .lexer import LexError, tokenize
+from .lower import (
+    LOWERED_SCHEMA_VERSION,
+    LoweredDecodeError,
+    LoweredDesign,
+    dump_lowered,
+    load_lowered,
+    lower_design,
+)
 from .parser import ParseError, parse, parse_module
 from .simulator import (
     BACKENDS,
@@ -45,7 +53,10 @@ __all__ = [
     "ElaborationError",
     "FlatDesign",
     "FourState",
+    "LOWERED_SCHEMA_VERSION",
     "LexError",
+    "LoweredDecodeError",
+    "LoweredDesign",
     "Module",
     "ParseError",
     "SimulationError",
@@ -56,6 +67,7 @@ __all__ = [
     "Tracer",
     "check_syntax",
     "dump_design",
+    "dump_lowered",
     "elaborate",
     "emit_module",
     "emit_source",
@@ -63,6 +75,8 @@ __all__ = [
     "get_default_backend",
     "identifier_frequencies",
     "load_design",
+    "load_lowered",
+    "lower_design",
     "parse",
     "parse_module",
     "resolve_backend",

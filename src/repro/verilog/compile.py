@@ -38,28 +38,15 @@ import math
 import operator
 from typing import Callable
 
-from .ast_nodes import (
-    Assign,
-    Binary,
-    Block,
-    Case,
-    Concat,
-    ContinuousAssign,
-    EdgeKind,
-    Expr,
-    For,
-    Identifier,
-    If,
-    Index,
-    Number,
-    PartSelect,
-    Replicate,
-    Stmt,
-    SystemCall,
-    Ternary,
-    Unary,
+from .ast_nodes import Expr
+from .elaborate import FlatDesign
+from .lower import (
+    _NEGEDGE,
+    _POSEDGE,
+    LoweredDesign,
+    lower_design,
+    lower_expr,
 )
-from .elaborate import FlatDesign, eval_const
 from .simulator import (
     _MAX_EDGE_CASCADE,
     _MAX_LOOP_ITERS,
@@ -77,11 +64,6 @@ ExprFn = Callable[[list, list, list], "tuple[int, int, int]"]
 StmtFn = Callable[[list, list, list, "list | None"], None]
 
 _DROP = ("drop",)
-
-# EdgeKind -> small int, so the trigger scan avoids enum comparisons.
-_POSEDGE, _NEGEDGE, _LEVEL = 0, 1, 2
-_EDGE_CODE = {EdgeKind.POSEDGE: _POSEDGE, EdgeKind.NEGEDGE: _NEGEDGE,
-              EdgeKind.LEVEL: _LEVEL}
 
 
 # ---------------------------------------------------------------------------
@@ -224,102 +206,49 @@ def _apply_resolved(sv: list, sx: list, m: list, resolved: tuple,
 
 
 class CompiledDesign:
-    """A :class:`FlatDesign` lowered to slot-indexed closures."""
+    """A :class:`FlatDesign` lowered to slot-indexed closures.
 
-    def __init__(self, design: FlatDesign):
+    Construction consumes the backend-neutral IR from
+    :func:`repro.verilog.lower.lower_design` -- all structural
+    analysis (slot assignment, write-sets, sensitivity, widths)
+    happens there; this class only builds the Python closures.  Pass
+    ``lowered`` to build from a store-served IR without re-lowering.
+    """
+
+    def __init__(self, design: FlatDesign,
+                 lowered: "LoweredDesign | None" = None):
         self.design = design
-        self.slot: dict[str, int] = {}
-        self.mem_slot: dict[str, int] = {}
-        self.widths: list[int] = []
-        for spec in design.signals.values():
-            if spec.is_memory:
-                self.mem_slot[spec.name] = len(self.mem_slot)
-            else:
-                self.slot[spec.name] = len(self.widths)
-                self.widths.append(spec.width)
-        self.n_mems = len(self.mem_slot)
+        if lowered is None:
+            lowered = lower_design(design)
+        self.lowered = lowered
+        self.slot: dict[str, int] = lowered.slot
+        self.mem_slot: dict[str, int] = lowered.mem_slot
+        self.widths: list[int] = lowered.widths
+        self.n_mems = lowered.n_mems
 
-        self.assigns = [self._assign(a) for a in design.assigns]
-        # Comb processes carry their static write-set so change
-        # detection compares a handful of slots instead of snapshotting
-        # the whole state (the interpreter copies the full dict; a
-        # process can only change slots it writes, so this computes the
-        # same predicate cheaply).
-        self.comb = [(self._body(p.body), self._write_slots(p.body))
-                     for p in design.processes if not p.is_edge_triggered]
+        self.assigns = [self._build_assign(target, value)
+                        for target, value in lowered.assigns]
+        # Comb processes carry their static write-set (computed at
+        # lowering time) so change detection compares a handful of
+        # slots instead of snapshotting the whole state (the
+        # interpreter copies the full dict; a process can only change
+        # slots it writes, so this computes the same predicate cheaply).
+        self.comb = [(self._build_body(body), tuple(wslots))
+                     for body, wslots in lowered.comb]
         self.seq = [
-            ([(_EDGE_CODE[item.edge], self._signal_slot(item.signal))
-              for item in p.sensitivity],
-             self._body(p.body))
-            for p in design.processes if p.is_edge_triggered
+            ([(edge, slot) for edge, slot in sens], self._build_body(body))
+            for sens, body in lowered.seq
         ]
-        self.initials = [self._body(p.body) for p in design.initials]
-        self.edge_slots = sorted(
-            {slot for sens, _ in self.seq for _, slot in sens}
-        )
-        self.edge_pos = {slot: i for i, slot in enumerate(self.edge_slots)}
-
-    # -- helpers -----------------------------------------------------------
-
-    def _signal_slot(self, name: str) -> int:
-        if name not in self.slot:
-            raise SimulationError(f"unknown signal {name!r}")
-        return self.slot[name]
-
-    def _write_slots(self, body: list[Stmt]) -> tuple[int, ...]:
-        """Non-memory slots a statement list can write (static bound).
-
-        Memory words are deliberately excluded: the interpreter's comb
-        change detection compares ``state`` only, never ``memories``.
-        """
-        slots: set[int] = set()
-
-        def target_slots(target: Expr) -> None:
-            if isinstance(target, Identifier):
-                if target.name in self.slot:
-                    slots.add(self.slot[target.name])
-            elif isinstance(target, (Index, PartSelect)):
-                name = self._lvalue_name(target.target)
-                if name in self.slot:
-                    slots.add(self.slot[name])
-            elif isinstance(target, Concat):
-                for part in target.parts:
-                    target_slots(part)
-
-        def visit(stmts: list[Stmt]) -> None:
-            for stmt in stmts:
-                if isinstance(stmt, Assign):
-                    target_slots(stmt.target)
-                elif isinstance(stmt, Block):
-                    visit(stmt.body)
-                elif isinstance(stmt, If):
-                    visit(stmt.then_body)
-                    visit(stmt.else_body)
-                elif isinstance(stmt, Case):
-                    for item in stmt.items:
-                        visit(item.body)
-                elif isinstance(stmt, For):
-                    visit([stmt.init, stmt.step])
-                    visit(stmt.body)
-
-        visit(body)
-        return tuple(sorted(slots))
-
-    @staticmethod
-    def _lvalue_name(expr: Expr) -> str:
-        if isinstance(expr, Identifier):
-            return expr.name
-        raise SimulationError(
-            f"nested lvalue of type {type(expr).__name__} not supported"
-        )
+        self.initials = [self._build_body(body) for body in lowered.initials]
+        self.edge_slots = lowered.edge_slots
+        self.edge_pos = lowered.edge_pos
 
     # -- continuous assigns ------------------------------------------------
 
-    def _assign(
-            self,
-            assign: ContinuousAssign) -> Callable[[list, list, list], bool]:
-        value = self._expr(assign.value)
-        write = self._write(assign.target)
+    def _build_assign(self, target: list,
+                      value_ir: list) -> Callable[[list, list, list], bool]:
+        value = self._build_expr(value_ir)
+        write = self._build_write(target)
 
         def run(sv, sx, m):
             return write(sv, sx, m, value(sv, sx, m))
@@ -328,8 +257,8 @@ class CompiledDesign:
 
     # -- statements --------------------------------------------------------
 
-    def _body(self, body: list[Stmt]) -> StmtFn:
-        fns = [self._stmt(stmt) for stmt in body]
+    def _build_body(self, body: list) -> StmtFn:
+        fns = [self._build_stmt(stmt) for stmt in body]
         if not fns:
             return lambda sv, sx, m, nba: None
         if len(fns) == 1:
@@ -341,15 +270,16 @@ class CompiledDesign:
 
         return run
 
-    def _stmt(self, stmt: Stmt) -> StmtFn:
-        if isinstance(stmt, Assign):
-            return self._stmt_assign(stmt)
-        if isinstance(stmt, Block):
-            return self._body(stmt.body)
-        if isinstance(stmt, If):
-            cond = self._expr(stmt.cond)
-            then_body = self._body(stmt.then_body)
-            else_body = self._body(stmt.else_body)
+    def _build_stmt(self, stmt: list) -> StmtFn:
+        tag = stmt[0]
+        if tag in ("a", "n"):
+            return self._build_stmt_assign(stmt)
+        if tag == "b":
+            return self._build_body(stmt[1])
+        if tag == "i":
+            cond = self._build_expr(stmt[1])
+            then_body = self._build_body(stmt[2])
+            else_body = self._build_body(stmt[3])
 
             def run(sv, sx, m, nba):
                 if cond(sv, sx, m)[1] != 0:
@@ -358,23 +288,21 @@ class CompiledDesign:
                     else_body(sv, sx, m, nba)
 
             return run
-        if isinstance(stmt, Case):
-            return self._stmt_case(stmt)
-        if isinstance(stmt, For):
-            return self._stmt_for(stmt)
-        raise SimulationError(
-            f"cannot execute statement {type(stmt).__name__}"
-        )
+        if tag == "c":
+            return self._build_stmt_case(stmt)
+        if tag == "f":
+            return self._build_stmt_for(stmt)
+        raise SimulationError(f"unknown statement tag {tag!r}")
 
-    def _stmt_assign(self, stmt: Assign) -> StmtFn:
-        value = self._expr(stmt.value)
-        write = self._write(stmt.target)
-        if stmt.blocking:
+    def _build_stmt_assign(self, stmt: list) -> StmtFn:
+        value = self._build_expr(stmt[2])
+        write = self._build_write(stmt[1])
+        if stmt[0] == "a":
             def run(sv, sx, m, nba):
                 write(sv, sx, m, value(sv, sx, m))
 
             return run
-        resolve = self._resolve(stmt.target)
+        resolve = self._build_resolve(stmt[1])
 
         def run(sv, sx, m, nba):
             # Initial blocks execute with nba=None: commit immediately.
@@ -385,17 +313,17 @@ class CompiledDesign:
 
         return run
 
-    def _stmt_case(self, stmt: Case) -> StmtFn:
-        subject = self._expr(stmt.subject)
-        kind = stmt.kind
+    def _build_stmt_case(self, stmt: list) -> StmtFn:
+        kind = stmt[1]
+        subject = self._build_expr(stmt[2])
         arms = []
         default_body = None
-        for item in stmt.items:
-            if not item.patterns:
-                default_body = self._body(item.body)
+        for patterns, item_body in stmt[3]:
+            if not patterns:
+                default_body = self._build_body(item_body)
                 continue
-            arms.append(([self._expr(p) for p in item.patterns],
-                         self._body(item.body)))
+            arms.append(([self._build_expr(p) for p in patterns],
+                         self._build_body(item_body)))
 
         def run(sv, sx, m, nba):
             subj = subject(sv, sx, m)
@@ -409,11 +337,11 @@ class CompiledDesign:
 
         return run
 
-    def _stmt_for(self, stmt: For) -> StmtFn:
-        init = self._stmt(stmt.init)
-        cond = self._expr(stmt.cond)
-        step = self._stmt(stmt.step)
-        body = self._body(stmt.body)
+    def _build_stmt_for(self, stmt: list) -> StmtFn:
+        init = self._build_stmt(stmt[1])
+        cond = self._build_expr(stmt[2])
+        step = self._build_stmt(stmt[3])
+        body = self._build_body(stmt[4])
 
         def run(sv, sx, m, nba):
             init(sv, sx, m, nba)
@@ -428,16 +356,11 @@ class CompiledDesign:
 
     # -- lvalues -----------------------------------------------------------
 
-    def _write(self, target: Expr) -> Callable[[list, list, list, tuple], bool]:
-        """Compile a target to ``write(sv, sx, m, value) -> changed``."""
-        if isinstance(target, Identifier):
-            spec = self.design.signal(target.name)
-            if spec.is_memory:
-                raise SimulationError(
-                    f"cannot assign whole memory {target.name!r}"
-                )
-            slot = self._signal_slot(target.name)
-            width = spec.width
+    def _build_write(self,
+                     target: list) -> Callable[[list, list, list, tuple], bool]:
+        """Compile an lvalue node to ``write(sv, sx, m, value) -> changed``."""
+        if target[0] == "W":
+            _, slot, width = target
 
             def write(sv, sx, m, value):
                 _, v, x = _t_resize(*value, width)
@@ -448,45 +371,39 @@ class CompiledDesign:
                 return True
 
             return write
-        resolve = self._resolve(target)
+        resolve = self._build_resolve(target)
 
         def write(sv, sx, m, value):
             return _apply_resolved(sv, sx, m, resolve(sv, sx, m), value)
 
         return write
 
-    def _resolve(self, target: Expr) -> Callable[[list, list, list], tuple]:
-        """Compile a target to a runtime address resolver.
+    def _build_resolve(self,
+                       target: list) -> Callable[[list, list, list], tuple]:
+        """Compile an lvalue node to a runtime address resolver.
 
         Mirrors the interpreter: addressing is evaluated when the
         assignment executes (NBA index expressions capture loop
         variables at schedule time), X addresses drop the write.
         """
-        if isinstance(target, Identifier):
-            spec = self.design.signal(target.name)
-            if spec.is_memory:
-                raise SimulationError(
-                    f"cannot assign whole memory {target.name!r}"
-                )
-            resolved = ("whole", self._signal_slot(target.name), spec.width)
+        tag = target[0]
+        if tag == "W":
+            resolved = ("whole", target[1], target[2])
             return lambda sv, sx, m: resolved
-        if isinstance(target, Index):
-            name = self._lvalue_name(target.target)
-            spec = self.design.signal(name)
-            index = self._int_expr(target.index)
-            if spec.is_memory:
-                mem_slot = self.mem_slot[name]
-                width, mem_lsb = spec.width, spec.mem_lsb
+        if tag == "M":
+            _, mem_slot, width, mem_lsb, index_ir = target
+            index = self._build_int_expr(index_ir)
 
-                def resolve(sv, sx, m):
-                    i = index(sv, sx, m)
-                    if i is None:
-                        return _DROP
-                    return ("word", mem_slot, i - mem_lsb, width)
+            def resolve(sv, sx, m):
+                i = index(sv, sx, m)
+                if i is None:
+                    return _DROP
+                return ("word", mem_slot, i - mem_lsb, width)
 
-                return resolve
-            slot = self._signal_slot(name)
-            spec_width, lsb = spec.width, spec.lsb
+            return resolve
+        if tag == "X":
+            _, slot, spec_width, lsb, index_ir = target
+            index = self._build_int_expr(index_ir)
 
             def resolve(sv, sx, m):
                 i = index(sv, sx, m)
@@ -496,13 +413,10 @@ class CompiledDesign:
                 return ("bits", slot, spec_width, bit, bit)
 
             return resolve
-        if isinstance(target, PartSelect):
-            name = self._lvalue_name(target.target)
-            spec = self.design.signal(name)
-            msb = self._int_expr(target.msb)
-            lsb = self._int_expr(target.lsb)
-            slot = self._signal_slot(name)
-            spec_width, spec_lsb = spec.width, spec.lsb
+        if tag == "P":
+            _, slot, spec_width, spec_lsb, msb_ir, lsb_ir = target
+            msb = self._build_int_expr(msb_ir)
+            lsb = self._build_int_expr(lsb_ir)
 
             def resolve(sv, sx, m):
                 hi = msb(sv, sx, m)
@@ -513,30 +427,26 @@ class CompiledDesign:
                         lo - spec_lsb)
 
             return resolve
-        if isinstance(target, Concat):
-            parts = [self._resolve(p) for p in target.parts]
-            widths = [self._target_width(p) for p in target.parts]
+        if tag == "CC":
+            parts = [self._build_resolve(p) for p in target[1]]
+            widths = [self._build_target_width(w) for w in target[2]]
 
             def resolve(sv, sx, m):
                 return ("concat", [p(sv, sx, m) for p in parts],
                         [w(sv, sx, m) for w in widths])
 
             return resolve
-        raise SimulationError(
-            f"unsupported assignment target {type(target).__name__}"
-        )
+        raise SimulationError(f"unknown lvalue tag {tag!r}")
 
-    def _target_width(self, target: Expr) -> Callable[[list, list, list], int]:
-        if isinstance(target, Identifier):
-            width = self.design.signal(target.name).width
+    def _build_target_width(self,
+                            wd: list) -> Callable[[list, list, list], int]:
+        tag = wd[0]
+        if tag == "wk":
+            width = wd[1]
             return lambda sv, sx, m: width
-        if isinstance(target, Index):
-            spec = self.design.signal(self._lvalue_name(target.target))
-            width = spec.width if spec.is_memory else 1
-            return lambda sv, sx, m: width
-        if isinstance(target, PartSelect):
-            msb = self._int_expr(target.msb)
-            lsb = self._int_expr(target.lsb)
+        if tag == "wr":
+            msb = self._build_int_expr(wd[1])
+            lsb = self._build_int_expr(wd[2])
 
             def width_of(sv, sx, m):
                 hi = msb(sv, sx, m)
@@ -546,18 +456,17 @@ class CompiledDesign:
                 return abs(hi - lo) + 1
 
             return width_of
-        if isinstance(target, Concat):
-            widths = [self._target_width(p) for p in target.parts]
+        if tag == "ws":
+            widths = [self._build_target_width(w) for w in wd[1]]
             return lambda sv, sx, m: sum(w(sv, sx, m) for w in widths)
-        raise SimulationError(
-            f"unsupported assignment target {type(target).__name__}"
-        )
+        raise SimulationError(f"unknown width tag {tag!r}")
 
     # -- expressions -------------------------------------------------------
 
-    def _int_expr(self, expr: Expr) -> Callable[[list, list, list], "int | None"]:
-        """Compile an index expression: int value, or None when X."""
-        value = self._expr(expr)
+    def _build_int_expr(self,
+                        ir: list) -> Callable[[list, list, list], "int | None"]:
+        """Compile an index node: int value, or None when X."""
+        value = self._build_expr(ir)
 
         def run(sv, sx, m):
             _, v, x = value(sv, sx, m)
@@ -566,22 +475,25 @@ class CompiledDesign:
         return run
 
     def _expr(self, expr: Expr) -> ExprFn:
-        if isinstance(expr, Number):
-            canon = FourState(expr.width or 32, expr.value, expr.xmask)
-            const = (canon.width, canon.val, canon.xmask)
+        """Compile an ad-hoc AST expression (the testbench ``eval`` path)."""
+        return self._build_expr(lower_expr(self.design, expr))
+
+    def _build_expr(self, ir: list) -> ExprFn:
+        tag = ir[0]
+        if tag == "K":
+            const = (ir[1], ir[2], ir[3])
             return lambda sv, sx, m: const
-        if isinstance(expr, Identifier):
-            slot = self._signal_slot(expr.name)
-            width = self.design.signal(expr.name).width
+        if tag == "S":
+            _, slot, width = ir
             return lambda sv, sx, m: (width, sv[slot], sx[slot])
-        if isinstance(expr, Unary):
-            return self._expr_unary(expr)
-        if isinstance(expr, Binary):
-            return self._expr_binary(expr)
-        if isinstance(expr, Ternary):
-            cond = self._expr(expr.cond)
-            then = self._expr(expr.then)
-            otherwise = self._expr(expr.otherwise)
+        if tag == "U":
+            return self._build_unary(ir)
+        if tag == "B":
+            return self._build_binary(ir)
+        if tag == "T":
+            cond = self._build_expr(ir[1])
+            then = self._build_expr(ir[2])
+            otherwise = self._build_expr(ir[3])
 
             def run(sv, sx, m):
                 _, cv, cx = _t_bool3(*cond(sv, sx, m))
@@ -592,12 +504,48 @@ class CompiledDesign:
                 return otherwise(sv, sx, m)
 
             return run
-        if isinstance(expr, Index):
-            return self._expr_index(expr)
-        if isinstance(expr, PartSelect):
-            return self._expr_part_select(expr)
-        if isinstance(expr, Concat):
-            first, *rest = [self._expr(p) for p in expr.parts]
+        if tag == "IB":
+            _, slot, width, lsb, index_ir = ir
+            index = self._build_int_expr(index_ir)
+
+            def run(sv, sx, m):
+                i = index(sv, sx, m)
+                if i is None:
+                    return (1, 0, 1)
+                return _t_bit(width, sv[slot], sx[slot], i - lsb)
+
+            return run
+        if tag == "IM":
+            _, mem_slot, width, mem_lsb, index_ir = ir
+            index = self._build_int_expr(index_ir)
+            unknown = (width, 0, (1 << width) - 1)
+
+            def run(sv, sx, m):
+                i = index(sv, sx, m)
+                if i is None:
+                    return unknown
+                word = m[mem_slot].get(i - mem_lsb)
+                if word is None:
+                    return unknown
+                return (width, word[0], word[1])
+
+            return run
+        if tag == "IE":
+            target = self._build_expr(ir[1])
+            index = self._build_int_expr(ir[2])
+
+            def run(sv, sx, m):
+                value = target(sv, sx, m)
+                i = index(sv, sx, m)
+                if i is None:
+                    return (1, 0, 1)
+                return _t_bit(*value, i)
+
+            return run
+        if tag == "PS":
+            return self._build_part_select(ir)
+        if tag == "C":
+            first, *rest = [self._build_expr(p) for p in ir[1]]
 
             def run(sv, sx, m):
                 w, v, x = first(sv, sx, m)
@@ -609,9 +557,9 @@ class CompiledDesign:
                 return (w, v, x)
 
             return run
-        if isinstance(expr, Replicate):
-            count = self._int_expr(expr.count)
-            value = self._expr(expr.value)
+        if tag == "R":
+            count = self._build_int_expr(ir[1])
+            value = self._build_expr(ir[2])
 
             def run(sv, sx, m):
                 c = count(sv, sx, m)
@@ -620,57 +568,24 @@ class CompiledDesign:
                 return _t_replicate(value(sv, sx, m), c)
 
             return run
-        if isinstance(expr, SystemCall):
-            return self._expr_system_call(expr)
-        raise SimulationError(f"cannot evaluate {type(expr).__name__}")
-
-    def _expr_index(self, expr: Index) -> ExprFn:
-        index = self._int_expr(expr.index)
-        if isinstance(expr.target, Identifier):
-            spec = self.design.signal(expr.target.name)
-            if spec.is_memory:
-                mem_slot = self.mem_slot[spec.name]
-                width, mem_lsb = spec.width, spec.mem_lsb
-                unknown = (width, 0, (1 << width) - 1)
-
-                def run(sv, sx, m):
-                    i = index(sv, sx, m)
-                    if i is None:
-                        return unknown
-                    word = m[mem_slot].get(i - mem_lsb)
-                    if word is None:
-                        return unknown
-                    return (width, word[0], word[1])
-
-                return run
-            slot = self._signal_slot(spec.name)
-            width, lsb = spec.width, spec.lsb
+        if tag == "L2":
+            operand = self._build_int_expr(ir[1])
 
             def run(sv, sx, m):
-                i = index(sv, sx, m)
-                if i is None:
-                    return (1, 0, 1)
-                return _t_bit(width, sv[slot], sx[slot], i - lsb)
+                v = operand(sv, sx, m)
+                if v is None:
+                    raise SimulationError("$clog2 of X value")
+                result = 0 if v <= 1 else int(math.ceil(math.log2(v)))
+                return (32, result & 0xFFFFFFFF, 0)
 
             return run
-        target = self._expr(expr.target)
+        raise SimulationError(f"unknown expression tag {tag!r}")
 
-        def run(sv, sx, m):
-            value = target(sv, sx, m)
-            i = index(sv, sx, m)
-            if i is None:
-                return (1, 0, 1)
-            return _t_bit(*value, i)
-
-        return run
-
-    def _expr_part_select(self, expr: PartSelect) -> ExprFn:
-        target = self._expr(expr.target)
-        msb = self._int_expr(expr.msb)
-        lsb = self._int_expr(expr.lsb)
-        adjust = 0
-        if isinstance(expr.target, Identifier):
-            adjust = self.design.signal(expr.target.name).lsb
+    def _build_part_select(self, ir: list) -> ExprFn:
+        _, target_ir, adjust, msb_ir, lsb_ir = ir
+        target = self._build_expr(target_ir)
+        msb = self._build_int_expr(msb_ir)
+        lsb = self._build_int_expr(lsb_ir)
 
         def run(sv, sx, m):
             w, v, x = target(sv, sx, m)
@@ -686,9 +601,9 @@ class CompiledDesign:
 
         return run
 
-    def _expr_unary(self, expr: Unary) -> ExprFn:
-        value = self._expr(expr.operand)
-        op = expr.op
+    def _build_unary(self, ir: list) -> ExprFn:
+        op = ir[1]
+        value = self._build_expr(ir[2])
         if op == "~":
             def run(sv, sx, m):
                 w, v, x = value(sv, sx, m)
@@ -746,10 +661,10 @@ class CompiledDesign:
             return run
         raise SimulationError(f"unknown unary operator {op!r}")
 
-    def _expr_binary(self, expr: Binary) -> ExprFn:
-        op = expr.op
-        left = self._expr(expr.left)
-        right = self._expr(expr.right)
+    def _build_binary(self, ir: list) -> ExprFn:
+        op = ir[1]
+        left = self._build_expr(ir[2])
+        right = self._build_expr(ir[3])
         if op in ("&&", "||"):
             want_or = op == "||"
 
@@ -901,33 +816,6 @@ class CompiledDesign:
             return run
         raise SimulationError(f"unknown binary operator {op!r}")
 
-    def _expr_system_call(self, expr: SystemCall) -> ExprFn:
-        if expr.name in ("$clog2", "$signed", "$unsigned") \
-                and len(expr.args) != 1:
-            raise SimulationError(
-                f"{expr.name} expects exactly one argument"
-            )
-        if expr.name == "$clog2":
-            arg = expr.args[0]
-            if isinstance(arg, Number):
-                value = eval_const(arg, {})
-                result = 0 if value <= 1 else int(math.ceil(math.log2(value)))
-                const = (32, result & 0xFFFFFFFF, 0)
-                return lambda sv, sx, m: const
-            operand = self._int_expr(arg)
-
-            def run(sv, sx, m):
-                v = operand(sv, sx, m)
-                if v is None:
-                    raise SimulationError("$clog2 of X value")
-                result = 0 if v <= 1 else int(math.ceil(math.log2(v)))
-                return (32, result & 0xFFFFFFFF, 0)
-
-            return run
-        if expr.name in ("$signed", "$unsigned"):
-            return self._expr(expr.args[0])
-        raise SimulationError(f"unsupported system call {expr.name}")
-
 
 def _case_match(kind: str, subject: tuple, pattern: tuple) -> bool:
     """Tuple twin of ``Simulator._case_match``."""
@@ -944,11 +832,16 @@ def _case_match(kind: str, subject: tuple, pattern: tuple) -> bool:
 
 
 def compile_design(design: FlatDesign) -> CompiledDesign:
-    """Lower ``design`` to closures, caching the result on the design."""
-    cached = getattr(design, "_compiled_cache", None)
+    """Lower ``design`` to closures, caching the result on the design.
+
+    Shares the design's unified ``(backend, lanes)``-keyed cache with
+    the other backends (see :mod:`repro.verilog.lower`).
+    """
+    cache = design._lowered_cache
+    cached = cache.get(("compiled", 0))
     if cached is None:
         cached = CompiledDesign(design)
-        design._compiled_cache = cached
+        cache[("compiled", 0)] = cached
     return cached
 
 

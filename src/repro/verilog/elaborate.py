@@ -150,6 +150,13 @@ class FlatDesign:
     initials: list[FlatProcess] = field(default_factory=list)
     inputs: list[str] = field(default_factory=list)
     outputs: list[str] = field(default_factory=list)
+    #: Per-design cache of lowered forms, keyed by ``(backend, lanes)``:
+    #: ``("ir", 0)`` holds the shared backend-neutral LoweredDesign,
+    #: ``("compiled", 0)`` / ``("vector", n)`` the backend closures built
+    #: from it (see :mod:`repro.verilog.lower`).  Not part of the design
+    #: value: excluded from comparison and never serialized.
+    _lowered_cache: dict = field(default_factory=dict, init=False,
+                                 repr=False, compare=False)
 
     def signal(self, name: str) -> SignalSpec:
         try:

@@ -43,27 +43,15 @@ import math
 import operator
 from typing import Callable, Sequence
 
-from .ast_nodes import (
-    Assign,
-    Binary,
-    Block,
-    Case,
-    Concat,
-    Expr,
-    For,
-    Identifier,
-    If,
-    Index,
-    Number,
-    PartSelect,
-    Replicate,
-    Stmt,
-    SystemCall,
-    Ternary,
-    Unary,
+from .ast_nodes import Expr
+from .elaborate import FlatDesign
+from .lower import (
+    _NEGEDGE,
+    _POSEDGE,
+    LoweredDesign,
+    lower_design,
+    lower_expr,
 )
-from .compile import _EDGE_CODE, _LEVEL, _NEGEDGE, _POSEDGE
-from .elaborate import FlatDesign, eval_const
 from .simulator import (
     _MAX_EDGE_CASCADE,
     _MAX_LOOP_ITERS,
@@ -375,92 +363,35 @@ class VectorDesign:
     statement closure is predicated on an active-lane mask.
     """
 
-    def __init__(self, design: FlatDesign, lanes: int):
+    def __init__(self, design: FlatDesign, lanes: int,
+                 lowered: "LoweredDesign | None" = None):
         self.design = design
         self.L = Lanes(lanes)
-        self.slot: dict[str, int] = {}
-        self.mem_slot: dict[str, int] = {}
-        self.widths: list[int] = []
-        for spec in design.signals.values():
-            if spec.is_memory:
-                self.mem_slot[spec.name] = len(self.mem_slot)
-            else:
-                self.slot[spec.name] = len(self.widths)
-                self.widths.append(spec.width)
-        self.n_mems = len(self.mem_slot)
+        if lowered is None:
+            lowered = lower_design(design)
+        self.lowered = lowered
+        self.slot: dict[str, int] = lowered.slot
+        self.mem_slot: dict[str, int] = lowered.mem_slot
+        self.widths: list[int] = lowered.widths
+        self.n_mems = lowered.n_mems
 
-        self.assigns = [self._assign(a) for a in design.assigns]
-        self.comb = [(self._body(p.body), self._write_slots(p.body))
-                     for p in design.processes if not p.is_edge_triggered]
+        self.assigns = [self._build_assign(target, value)
+                        for target, value in lowered.assigns]
+        self.comb = [(self._build_body(body), tuple(wslots))
+                     for body, wslots in lowered.comb]
         self.seq = [
-            ([(_EDGE_CODE[item.edge], self._signal_slot(item.signal))
-              for item in p.sensitivity],
-             self._body(p.body))
-            for p in design.processes if p.is_edge_triggered
+            ([(edge, slot) for edge, slot in sens], self._build_body(body))
+            for sens, body in lowered.seq
         ]
-        self.initials = [self._body(p.body) for p in design.initials]
-        self.edge_slots = sorted(
-            {slot for sens, _ in self.seq for _, slot in sens}
-        )
-        self.edge_pos = {slot: i for i, slot in enumerate(self.edge_slots)}
-
-    # -- helpers -----------------------------------------------------------
-
-    def _signal_slot(self, name: str) -> int:
-        if name not in self.slot:
-            raise SimulationError(f"unknown signal {name!r}")
-        return self.slot[name]
-
-    def _write_slots(self, body: list[Stmt]) -> tuple[int, ...]:
-        """Non-memory slots a statement list can write (static bound);
-        same predicate the compiled backend's comb change detection
-        uses, evaluated on packed ints so any lane's change re-settles."""
-        slots: set[int] = set()
-
-        def target_slots(target: Expr) -> None:
-            if isinstance(target, Identifier):
-                if target.name in self.slot:
-                    slots.add(self.slot[target.name])
-            elif isinstance(target, (Index, PartSelect)):
-                name = self._lvalue_name(target.target)
-                if name in self.slot:
-                    slots.add(self.slot[name])
-            elif isinstance(target, Concat):
-                for part in target.parts:
-                    target_slots(part)
-
-        def visit(stmts: list[Stmt]) -> None:
-            for stmt in stmts:
-                if isinstance(stmt, Assign):
-                    target_slots(stmt.target)
-                elif isinstance(stmt, Block):
-                    visit(stmt.body)
-                elif isinstance(stmt, If):
-                    visit(stmt.then_body)
-                    visit(stmt.else_body)
-                elif isinstance(stmt, Case):
-                    for item in stmt.items:
-                        visit(item.body)
-                elif isinstance(stmt, For):
-                    visit([stmt.init, stmt.step])
-                    visit(stmt.body)
-
-        visit(body)
-        return tuple(sorted(slots))
-
-    @staticmethod
-    def _lvalue_name(expr: Expr) -> str:
-        if isinstance(expr, Identifier):
-            return expr.name
-        raise SimulationError(
-            f"nested lvalue of type {type(expr).__name__} not supported"
-        )
+        self.initials = [self._build_body(body) for body in lowered.initials]
+        self.edge_slots = lowered.edge_slots
+        self.edge_pos = lowered.edge_pos
 
     # -- continuous assigns ------------------------------------------------
 
-    def _assign(self, assign):
-        value = self._expr(assign.value)
-        write = self._write(assign.target)
+    def _build_assign(self, target: list, value_ir: list) -> Callable[..., bool]:
+        value = self._build_expr(value_ir)
+        write = self._build_write(target)
 
         def run(sv, sx, m, lm):
             return write(sv, sx, m, value(sv, sx, m), lm)
@@ -469,8 +400,8 @@ class VectorDesign:
 
     # -- statements --------------------------------------------------------
 
-    def _body(self, body: list[Stmt]) -> StmtFn:
-        fns = [self._stmt(stmt) for stmt in body]
+    def _build_body(self, body: list) -> StmtFn:
+        fns = [self._build_stmt(stmt) for stmt in body]
         if not fns:
             return lambda sv, sx, m, nba, lm: None
         if len(fns) == 1:
@@ -482,16 +413,17 @@ class VectorDesign:
 
         return run
 
-    def _stmt(self, stmt: Stmt) -> StmtFn:
-        if isinstance(stmt, Assign):
-            return self._stmt_assign(stmt)
-        if isinstance(stmt, Block):
-            return self._body(stmt.body)
-        if isinstance(stmt, If):
+    def _build_stmt(self, stmt: list) -> StmtFn:
+        tag = stmt[0]
+        if tag in ("a", "n"):
+            return self._build_stmt_assign(stmt)
+        if tag == "b":
+            return self._build_body(stmt[1])
+        if tag == "i":
             nonzero = self.L.nonzero
-            cond = self._expr(stmt.cond)
-            then_body = self._body(stmt.then_body)
-            else_body = self._body(stmt.else_body)
+            cond = self._build_expr(stmt[1])
+            then_body = self._build_body(stmt[2])
+            else_body = self._build_body(stmt[3])
 
             def run(sv, sx, m, nba, lm):
                 cw, cv, cx = cond(sv, sx, m)
@@ -507,23 +439,21 @@ class VectorDesign:
                     else_body(sv, sx, m, nba, lm & ~t)
 
             return run
-        if isinstance(stmt, Case):
-            return self._stmt_case(stmt)
-        if isinstance(stmt, For):
-            return self._stmt_for(stmt)
-        raise SimulationError(
-            f"cannot execute statement {type(stmt).__name__}"
-        )
+        if tag == "c":
+            return self._build_stmt_case(stmt)
+        if tag == "f":
+            return self._build_stmt_for(stmt)
+        raise SimulationError(f"unknown statement tag {tag!r}")
 
-    def _stmt_assign(self, stmt: Assign) -> StmtFn:
-        value = self._expr(stmt.value)
-        write = self._write(stmt.target)
-        if stmt.blocking:
+    def _build_stmt_assign(self, stmt: list) -> StmtFn:
+        value = self._build_expr(stmt[2])
+        write = self._build_write(stmt[1])
+        if stmt[0] == "a":
             def run(sv, sx, m, nba, lm):
                 write(sv, sx, m, value(sv, sx, m), lm)
 
             return run
-        resolve = self._resolve(stmt.target)
+        resolve = self._build_resolve(stmt[1])
 
         def run(sv, sx, m, nba, lm):
             # Initial blocks execute with nba=None: commit immediately.
@@ -536,17 +466,17 @@ class VectorDesign:
 
         return run
 
-    def _stmt_case(self, stmt: Case) -> StmtFn:
-        subject = self._expr(stmt.subject)
-        kind = stmt.kind
+    def _build_stmt_case(self, stmt: list) -> StmtFn:
+        kind = stmt[1]
+        subject = self._build_expr(stmt[2])
         arms = []
         default_body = None
-        for item in stmt.items:
-            if not item.patterns:
-                default_body = self._body(item.body)
+        for patterns, item_body in stmt[3]:
+            if not patterns:
+                default_body = self._build_body(item_body)
                 continue
-            arms.append(([self._expr(p) for p in item.patterns],
-                         self._body(item.body)))
+            arms.append(([self._build_expr(p) for p in patterns],
+                         self._build_body(item_body)))
 
         def run(sv, sx, m, nba, lm):
             subj = subject(sv, sx, m)
@@ -582,12 +512,12 @@ class VectorDesign:
         diff = ((s_val ^ p_val) | s_x) & care
         return L.all & ~L.nonzero(diff, w)
 
-    def _stmt_for(self, stmt: For) -> StmtFn:
+    def _build_stmt_for(self, stmt: list) -> StmtFn:
         L = self.L
-        init = self._stmt(stmt.init)
-        cond = self._expr(stmt.cond)
-        step = self._stmt(stmt.step)
-        body = self._body(stmt.body)
+        init = self._build_stmt(stmt[1])
+        cond = self._build_expr(stmt[2])
+        step = self._build_stmt(stmt[3])
+        body = self._build_body(stmt[4])
 
         def run(sv, sx, m, nba, lm):
             init(sv, sx, m, nba, lm)
@@ -607,17 +537,11 @@ class VectorDesign:
 
     # -- lvalues -----------------------------------------------------------
 
-    def _write(self, target: Expr) -> Callable[..., bool]:
-        """Compile a target to ``write(sv, sx, m, value, lm) -> changed``."""
+    def _build_write(self, target: list) -> Callable[..., bool]:
+        """Compile an lvalue node to ``write(sv, sx, m, value, lm) -> changed``."""
         L = self.L
-        if isinstance(target, Identifier):
-            spec = self.design.signal(target.name)
-            if spec.is_memory:
-                raise SimulationError(
-                    f"cannot assign whole memory {target.name!r}"
-                )
-            slot = self._signal_slot(target.name)
-            width = spec.width
+        if target[0] == "W":
+            _, slot, width = target
             alln = L.all
             repack = L.repack
             expand = L.expand
@@ -642,7 +566,7 @@ class VectorDesign:
                 return True
 
             return write
-        resolve = self._resolve(target)
+        resolve = self._build_resolve(target)
 
         def write(sv, sx, m, value, lm):
             changed = False
@@ -653,8 +577,8 @@ class VectorDesign:
 
         return write
 
-    def _resolve(self, target: Expr) -> Callable[..., list]:
-        """Compile a target to a runtime address resolver returning
+    def _build_resolve(self, target: list) -> Callable[..., list]:
+        """Compile an lvalue node to a runtime address resolver returning
         ``[(resolved, lane_mask), ...]`` groups.
 
         Lane-divergent addressing splits into one group per distinct
@@ -662,35 +586,28 @@ class VectorDesign:
         semantics, now per lane).
         """
         L = self.L
-        if isinstance(target, Identifier):
-            spec = self.design.signal(target.name)
-            if spec.is_memory:
-                raise SimulationError(
-                    f"cannot assign whole memory {target.name!r}"
-                )
-            resolved = ("whole", self._signal_slot(target.name), spec.width)
+        tag = target[0]
+        if tag == "W":
+            resolved = ("whole", target[1], target[2])
 
             def resolve(sv, sx, m, lm):
                 return [(resolved, lm)] if lm else []
 
             return resolve
-        if isinstance(target, Index):
-            name = self._lvalue_name(target.target)
-            spec = self.design.signal(name)
-            index = self._expr(target.index)
-            if spec.is_memory:
-                mem_slot = self.mem_slot[name]
-                width, mem_lsb = spec.width, spec.mem_lsb
+        if tag == "M":
+            _, mem_slot, width, mem_lsb, index_ir = target
+            index = self._build_expr(index_ir)
 
-                def resolve(sv, sx, m, lm):
-                    iw, iv, ix = index(sv, sx, m)
-                    groups, _ = _lane_groups(L, iw, iv, ix, lm)
-                    return [(("word", mem_slot, val - mem_lsb, width), sub)
-                            for val, sub in groups]
+            def resolve(sv, sx, m, lm):
+                iw, iv, ix = index(sv, sx, m)
+                groups, _ = _lane_groups(L, iw, iv, ix, lm)
+                return [(("word", mem_slot, val - mem_lsb, width), sub)
+                        for val, sub in groups]
 
-                return resolve
-            slot = self._signal_slot(name)
-            spec_width, lsb = spec.width, spec.lsb
+            return resolve
+        if tag == "X":
+            _, slot, spec_width, lsb, index_ir = target
+            index = self._build_expr(index_ir)
 
             def resolve(sv, sx, m, lm):
                 iw, iv, ix = index(sv, sx, m)
@@ -702,13 +619,10 @@ class VectorDesign:
                 return out
 
             return resolve
-        if isinstance(target, PartSelect):
-            name = self._lvalue_name(target.target)
-            spec = self.design.signal(name)
-            msb = self._expr(target.msb)
-            lsb = self._expr(target.lsb)
-            slot = self._signal_slot(name)
-            spec_width, spec_lsb = spec.width, spec.lsb
+        if tag == "P":
+            _, slot, spec_width, spec_lsb, msb_ir, lsb_ir = target
+            msb = self._build_expr(msb_ir)
+            lsb = self._build_expr(lsb_ir)
 
             def resolve(sv, sx, m, lm):
                 mw, mv, mx = msb(sv, sx, m)
@@ -727,9 +641,9 @@ class VectorDesign:
                 return out
 
             return resolve
-        if isinstance(target, Concat):
-            parts = [self._resolve(p) for p in target.parts]
-            widths = [self._target_width(p) for p in target.parts]
+        if tag == "CC":
+            parts = [self._build_resolve(p) for p in target[1]]
+            widths = [self._build_target_width(w) for w in target[2]]
 
             def resolve(sv, sx, m, lm):
                 return [(("concat",
@@ -737,22 +651,17 @@ class VectorDesign:
                           [w(sv, sx, m) for w in widths]), lm)]
 
             return resolve
-        raise SimulationError(
-            f"unsupported assignment target {type(target).__name__}"
-        )
+        raise SimulationError(f"unknown lvalue tag {tag!r}")
 
-    def _target_width(self, target: Expr) -> Callable[..., int]:
+    def _build_target_width(self, wd: list) -> Callable[..., int]:
         L = self.L
-        if isinstance(target, Identifier):
-            width = self.design.signal(target.name).width
+        tag = wd[0]
+        if tag == "wk":
+            width = wd[1]
             return lambda sv, sx, m: width
-        if isinstance(target, Index):
-            spec = self.design.signal(self._lvalue_name(target.target))
-            width = spec.width if spec.is_memory else 1
-            return lambda sv, sx, m: width
-        if isinstance(target, PartSelect):
-            msb = self._expr(target.msb)
-            lsb = self._expr(target.lsb)
+        if tag == "wr":
+            msb = self._build_expr(wd[1])
+            lsb = self._build_expr(wd[2])
 
             def width_of(sv, sx, m):
                 mw, mv, mx = msb(sv, sx, m)
@@ -768,17 +677,19 @@ class VectorDesign:
                 return abs(hi - lo) + 1
 
             return width_of
-        if isinstance(target, Concat):
-            widths = [self._target_width(p) for p in target.parts]
+        if tag == "ws":
+            widths = [self._build_target_width(w) for w in wd[1]]
             return lambda sv, sx, m: sum(w(sv, sx, m) for w in widths)
-        raise SimulationError(
-            f"unsupported assignment target {type(target).__name__}"
-        )
+        raise SimulationError(f"unknown width tag {tag!r}")
 
     # -- expressions -------------------------------------------------------
 
     def _expr(self, expr: Expr, sensitive: bool = False) -> ExprFn:
-        """Lower one expression to a packed closure.
+        """Compile an ad-hoc AST expression (the testbench ``eval`` path)."""
+        return self._build_expr(lower_expr(self.design, expr), sensitive)
+
+    def _build_expr(self, ir: list, sensitive: bool = False) -> ExprFn:
+        """Lower one IR node to a packed closure.
 
         ``sensitive`` marks a *width-sensitive* context: the parent
         operator's result depends on the operand's exact bit width, not
@@ -790,30 +701,30 @@ class VectorDesign:
         width-insensitive contexts (assign right-hand sides, compares,
         value arithmetic -- the scalar backends resize there anyway)
         and raises in sensitive ones so the caller can fall back to a
-        scalar backend.
+        scalar backend.  The flag is a property of the walk, not the
+        node, so it is re-derived here rather than stored in the IR.
         """
         L = self.L
-        if isinstance(expr, Number):
-            canon = FourState(expr.width or 32, expr.value, expr.xmask)
-            const = (canon.width, L.rep(canon.val, canon.width),
-                     L.rep(canon.xmask, canon.width))
+        tag = ir[0]
+        if tag == "K":
+            _, kw, kv, kx = ir
+            const = (kw, L.rep(kv, kw), L.rep(kx, kw))
             return lambda sv, sx, m: const
-        if isinstance(expr, Identifier):
-            slot = self._signal_slot(expr.name)
-            width = self.design.signal(expr.name).width
+        if tag == "S":
+            _, slot, width = ir
             return lambda sv, sx, m: (width, sv[slot], sx[slot])
-        if isinstance(expr, Unary):
-            return self._expr_unary(expr, sensitive)
-        if isinstance(expr, Binary):
-            return self._expr_binary(expr, sensitive)
-        if isinstance(expr, Ternary):
-            return self._expr_ternary(expr, sensitive)
-        if isinstance(expr, Index):
-            return self._expr_index(expr)
-        if isinstance(expr, PartSelect):
-            return self._expr_part_select(expr)
-        if isinstance(expr, Concat):
-            parts = [self._expr(p, True) for p in expr.parts]
+        if tag == "U":
+            return self._build_unary(ir, sensitive)
+        if tag == "B":
+            return self._build_binary(ir, sensitive)
+        if tag == "T":
+            return self._build_ternary(ir, sensitive)
+        if tag in ("IB", "IM", "IE"):
+            return self._build_index(ir)
+        if tag == "PS":
+            return self._build_part_select(ir)
+        if tag == "C":
+            parts = [self._build_expr(p, True) for p in ir[1]]
 
             def run(sv, sx, m):
                 vals = [p(sv, sx, m) for p in parts]
@@ -832,17 +743,17 @@ class VectorDesign:
                 return (total, out_v, out_x)
 
             return run
-        if isinstance(expr, Replicate):
-            return self._expr_replicate(expr)
-        if isinstance(expr, SystemCall):
-            return self._expr_system_call(expr, sensitive)
-        raise SimulationError(f"cannot evaluate {type(expr).__name__}")
+        if tag == "R":
+            return self._build_replicate(ir)
+        if tag == "L2":
+            return self._build_clog2(ir)
+        raise SimulationError(f"unknown expression tag {tag!r}")
 
-    def _expr_ternary(self, expr: Ternary, sensitive: bool) -> ExprFn:
+    def _build_ternary(self, ir: list, sensitive: bool) -> ExprFn:
         L = self.L
-        cond = self._expr(expr.cond)
-        then = self._expr(expr.then, sensitive)
-        otherwise = self._expr(expr.otherwise, sensitive)
+        cond = self._build_expr(ir[1])
+        then = self._build_expr(ir[2], sensitive)
+        otherwise = self._build_expr(ir[3], sensitive)
         nonzero = L.nonzero
         alln = L.all
 
@@ -878,42 +789,41 @@ class VectorDesign:
 
         return run
 
-    def _expr_index(self, expr: Index) -> ExprFn:
+    def _build_index(self, ir: list) -> ExprFn:
         L = self.L
-        index = self._expr(expr.index)
-        if isinstance(expr.target, Identifier):
-            spec = self.design.signal(expr.target.name)
-            if spec.is_memory:
-                mem_slot = self.mem_slot[spec.name]
-                width, mem_lsb = spec.width, spec.mem_lsb
+        tag = ir[0]
+        if tag == "IM":
+            _, mem_slot, width, mem_lsb, index_ir = ir
+            index = self._build_expr(index_ir)
 
-                def run(sv, sx, m):
-                    iw, iv, ix = index(sv, sx, m)
-                    mem = m[mem_slot]
-                    groups, xl = _lane_groups(L, iw, iv, ix, L.all)
-                    if not xl and len(groups) == 1:
-                        word = mem.get(groups[0][0] - mem_lsb)
-                        if word is None:
-                            return (width, 0, L.full(width))
-                        return (width, word[0], word[1])
-                    # Divergent addresses: gather one word per group.
-                    # Unwritten lanes of a stored word are all-X, so a
-                    # plain masked OR is an exact per-lane read.
-                    out_v = 0
-                    out_x = L.expand(xl, width) if xl else 0
-                    for val, sub in groups:
-                        word = mem.get(val - mem_lsb)
-                        e = L.expand(sub, width)
-                        if word is None:
-                            out_x |= e
-                        else:
-                            out_v |= word[0] & e
-                            out_x |= word[1] & e
-                    return (width, out_v, out_x)
+            def run(sv, sx, m):
+                iw, iv, ix = index(sv, sx, m)
+                mem = m[mem_slot]
+                groups, xl = _lane_groups(L, iw, iv, ix, L.all)
+                if not xl and len(groups) == 1:
+                    word = mem.get(groups[0][0] - mem_lsb)
+                    if word is None:
+                        return (width, 0, L.full(width))
+                    return (width, word[0], word[1])
+                # Divergent addresses: gather one word per group.
+                # Unwritten lanes of a stored word are all-X, so a
+                # plain masked OR is an exact per-lane read.
+                out_v = 0
+                out_x = L.expand(xl, width) if xl else 0
+                for val, sub in groups:
+                    word = mem.get(val - mem_lsb)
+                    e = L.expand(sub, width)
+                    if word is None:
+                        out_x |= e
+                    else:
+                        out_v |= word[0] & e
+                        out_x |= word[1] & e
+                return (width, out_v, out_x)
 
-                return run
-            slot = self._signal_slot(spec.name)
-            width, lsb = spec.width, spec.lsb
+            return run
+        if tag == "IB":
+            _, slot, width, lsb, index_ir = ir
+            index = self._build_expr(index_ir)
 
             def run(sv, sx, m):
                 iw, iv, ix = index(sv, sx, m)
@@ -936,7 +846,8 @@ class VectorDesign:
                 return (1, out_v, out_x)
 
             return run
-        target = self._expr(expr.target, True)
+        target = self._build_expr(ir[1], True)
+        index = self._build_expr(ir[2])
 
         def run(sv, sx, m):
             tw, tv, tx = target(sv, sx, m)
@@ -954,14 +865,12 @@ class VectorDesign:
 
         return run
 
-    def _expr_part_select(self, expr: PartSelect) -> ExprFn:
+    def _build_part_select(self, ir: list) -> ExprFn:
         L = self.L
-        target = self._expr(expr.target, True)
-        msb = self._expr(expr.msb)
-        lsb = self._expr(expr.lsb)
-        adjust = 0
-        if isinstance(expr.target, Identifier):
-            adjust = self.design.signal(expr.target.name).lsb
+        _, target_ir, adjust, msb_ir, lsb_ir = ir
+        target = self._build_expr(target_ir, True)
+        msb = self._build_expr(msb_ir)
+        lsb = self._build_expr(lsb_ir)
 
         def run(sv, sx, m):
             w, v, x = target(sv, sx, m)
@@ -984,10 +893,10 @@ class VectorDesign:
 
         return run
 
-    def _expr_replicate(self, expr: Replicate) -> ExprFn:
+    def _build_replicate(self, ir: list) -> ExprFn:
         L = self.L
-        count = self._expr(expr.count)
-        value = self._expr(expr.value, True)
+        count = self._build_expr(ir[1])
+        value = self._build_expr(ir[2], True)
 
         def run(sv, sx, m):
             cw, cv, cx = count(sv, sx, m)
@@ -1026,16 +935,16 @@ class VectorDesign:
         t = L.nonzero(v, w)
         return t, L.nonzero(x, w) & ~t
 
-    def _expr_unary(self, expr: Unary, sensitive: bool) -> ExprFn:
+    def _build_unary(self, ir: list, sensitive: bool) -> ExprFn:
         L = self.L
-        op = expr.op
+        op = ir[1]
         # ~, negate and the reductions read the operand's exact width;
         # ! only tests nonzero; unary + is the identity.
         if op == "+":
             operand_sensitive = sensitive
         else:
             operand_sensitive = op != "!"
-        value = self._expr(expr.operand, operand_sensitive)
+        value = self._build_expr(ir[2], operand_sensitive)
         fullt = L._full
         nonzero = L.nonzero
         alln = L.all
@@ -1096,9 +1005,9 @@ class VectorDesign:
             return run
         raise SimulationError(f"unknown unary operator {op!r}")
 
-    def _expr_binary(self, expr: Binary, sensitive: bool) -> ExprFn:
+    def _build_binary(self, ir: list, sensitive: bool) -> ExprFn:
         L = self.L
-        op = expr.op
+        op = ir[1]
         # Subtraction wraps at the operand-derived width, xnor inverts
         # up to it, left shifts truncate at it, and ** picks its result
         # width from it: their operands are inherently width-sensitive.
@@ -1120,8 +1029,8 @@ class VectorDesign:
             right_sensitive = sensitive
         else:
             right_sensitive = False
-        left = self._expr(expr.left, left_sensitive)
-        right = self._expr(expr.right, right_sensitive)
+        left = self._build_expr(ir[2], left_sensitive)
+        right = self._build_expr(ir[3], right_sensitive)
         if op in ("&&", "||"):
             want_or = op == "||"
 
@@ -1390,51 +1299,36 @@ class VectorDesign:
 
         return run
 
-    def _expr_system_call(self, expr: SystemCall,
-                          sensitive: bool = False) -> ExprFn:
+    def _build_clog2(self, ir: list) -> ExprFn:
         L = self.L
-        if expr.name in ("$clog2", "$signed", "$unsigned") \
-                and len(expr.args) != 1:
-            raise SimulationError(
-                f"{expr.name} expects exactly one argument"
-            )
-        if expr.name == "$clog2":
-            arg = expr.args[0]
-            if isinstance(arg, Number):
-                value = eval_const(arg, {})
-                result = 0 if value <= 1 else int(math.ceil(math.log2(value)))
-                const = (32, L.rep(result & 0xFFFFFFFF, 32), 0)
-                return lambda sv, sx, m: const
-            operand = self._expr(arg)
+        operand = self._build_expr(ir[1])
 
-            def run(sv, sx, m):
-                ow, ov, ox = operand(sv, sx, m)
-                if ox:
-                    raise SimulationError("$clog2 of X value")
-                om = (1 << ow) - 1
-                out = 0
-                for i in range(L.n):
-                    f = (ov >> (i * ow)) & om
-                    r = 0 if f <= 1 else int(math.ceil(math.log2(f)))
-                    out |= (r & 0xFFFFFFFF) << (i * 32)
-                return (32, out, 0)
+        def run(sv, sx, m):
+            ow, ov, ox = operand(sv, sx, m)
+            if ox:
+                raise SimulationError("$clog2 of X value")
+            om = (1 << ow) - 1
+            out = 0
+            for i in range(L.n):
+                f = (ov >> (i * ow)) & om
+                r = 0 if f <= 1 else int(math.ceil(math.log2(f)))
+                out |= (r & 0xFFFFFFFF) << (i * 32)
+            return (32, out, 0)
 
-            return run
-        if expr.name in ("$signed", "$unsigned"):
-            return self._expr(expr.args[0], sensitive)
-        raise SimulationError(f"unsupported system call {expr.name}")
+        return run
 
 
 def vector_design(design: FlatDesign, lanes: int) -> VectorDesign:
-    """Lower ``design`` for ``lanes`` lanes, caching on the design."""
-    cache = getattr(design, "_vector_cache", None)
-    if cache is None:
-        cache = {}
-        design._vector_cache = cache
-    vd = cache.get(lanes)
+    """Lower ``design`` for ``lanes`` lanes, caching on the design.
+
+    Shares the design's unified ``(backend, lanes)``-keyed cache with
+    the other backends (see :mod:`repro.verilog.lower`).
+    """
+    cache = design._lowered_cache
+    vd = cache.get(("vector", lanes))
     if vd is None:
         vd = VectorDesign(design, lanes)
-        cache[lanes] = vd
+        cache[("vector", lanes)] = vd
     return vd
 
 

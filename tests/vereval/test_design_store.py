@@ -3,18 +3,27 @@
 With ``REPRO_STORE_DIR`` set, a cold process must serve elaborated
 designs (and cached front-end failures) from the ``designs`` namespace
 instead of re-running the front end; any damaged entry must read as a
-miss and be recomputed, never substitute a wrong design.
+miss and be recomputed, never substitute a wrong design.  The sibling
+``lowered`` namespace must likewise serve each design's backend IR.
 """
+
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.store import artifact_store, reset_artifact_store
+from repro.verilog.lower import load_lowered, lower_design
 from repro.vereval.problems import problem_by_family
 from repro.vereval.testbench import (
     DESIGN_NAMESPACE,
+    LOWERED_NAMESPACE,
     _prepare,
     design_store_key,
     frontend_counters,
+    lowered_store_key,
     reset_frontend_counters,
     run_testbench,
 )
@@ -68,7 +77,8 @@ class TestColdWarm:
     def test_cold_put_then_warm_hit(self, store):
         design, failure = _prepare(GOOD, "top")
         assert failure is None
-        assert frontend_counters() == {"elaborations": 1, "design_hits": 0}
+        assert frontend_counters() == {"elaborations": 1, "design_hits": 0,
+                                       "lowerings": 1, "lowered_hits": 0}
         assert store.counters_snapshot()[DESIGN_NAMESPACE]["puts"] == 1
 
         _fresh_process()
@@ -79,7 +89,8 @@ class TestColdWarm:
         counters = store.counters_snapshot()[DESIGN_NAMESPACE]
         assert counters["hits"] == 1
         assert counters["puts"] == 1
-        assert frontend_counters() == {"elaborations": 1, "design_hits": 1}
+        assert frontend_counters() == {"elaborations": 1, "design_hits": 1,
+                                       "lowerings": 1, "lowered_hits": 1}
 
     def test_lru_tier_shields_the_store(self, store):
         _prepare(GOOD, "top")
@@ -98,7 +109,8 @@ class TestColdWarm:
             assert match in warm.reason
         # Four front-end runs total (two sources, cold only), all four
         # served from the store on the warm pass.
-        assert frontend_counters() == {"elaborations": 2, "design_hits": 2}
+        assert frontend_counters() == {"elaborations": 2, "design_hits": 2,
+                                       "lowerings": 0, "lowered_hits": 0}
         assert store.counters_snapshot()[DESIGN_NAMESPACE]["misses"] == 2
 
     def test_warm_testbench_result_identical(self, store):
@@ -132,7 +144,10 @@ class TestCorruption:
         counters = store.counters_snapshot()[DESIGN_NAMESPACE]
         assert counters["hits"] == 0  # store-level damage: a plain miss
         assert counters["puts"] == 2  # re-published after recompute
-        assert frontend_counters() == {"elaborations": 2, "design_hits": 0}
+        # The lowered entry survived the designs-namespace damage, so
+        # the recomputed design still gets its IR from the store.
+        assert frontend_counters() == {"elaborations": 2, "design_hits": 0,
+                                       "lowerings": 1, "lowered_hits": 1}
 
     def test_scrambled_payload_recomputes(self, store):
         """Same-length payload damage survives the store's envelope but
@@ -165,13 +180,90 @@ class TestCorruption:
         assert frontend_counters()["elaborations"] == 2
 
 
+class TestLoweredTier:
+    """The sibling ``lowered`` namespace: backend-neutral IR on disk."""
+
+    def test_cold_publishes_lowered(self, store):
+        design, _ = _prepare(GOOD, "top")
+        assert store.counters_snapshot()[LOWERED_NAMESPACE]["puts"] == 1
+        payload = store.get(LOWERED_NAMESPACE, lowered_store_key(GOOD, "top"))
+        assert load_lowered(bytes(payload)) == lower_design(design)
+
+    def test_warm_hit_seeds_backend_cache(self, store):
+        _prepare(GOOD, "top")
+        _fresh_process()
+        reset_frontend_counters()
+        design, _ = _prepare(GOOD, "top")
+        assert frontend_counters() == {"elaborations": 0, "design_hits": 1,
+                                       "lowerings": 0, "lowered_hits": 1}
+        # The seeded IR means backend construction does no AST walk.
+        lower_design(design)
+        assert frontend_counters()["lowerings"] == 0
+
+    def test_damaged_lowered_entry_relowers(self, store):
+        _prepare(GOOD, "top")
+        path = store._entry_path(LOWERED_NAMESPACE,
+                                 lowered_store_key(GOOD, "top"))
+        path.write_bytes(path.read_bytes()[:12])
+
+        _fresh_process()
+        _prepare(GOOD, "top")
+        counters = frontend_counters()
+        assert counters["lowered_hits"] == 0
+        assert counters["lowerings"] == 2  # cold + warm recompute
+        assert store.counters_snapshot()[LOWERED_NAMESPACE]["puts"] == 2
+
+    def test_failures_do_not_touch_lowered(self, store):
+        _prepare(BAD_SYNTAX, "top")
+        _prepare(BAD_TOP, "top")
+        assert LOWERED_NAMESPACE not in store.counters_snapshot()
+
+    def test_lowered_key_binds_source_and_top(self):
+        assert lowered_store_key(GOOD, "top") != lowered_store_key(GOOD, "t2")
+        assert lowered_store_key(GOOD, "top") \
+            != lowered_store_key(GOOD + " ", "top")
+        assert lowered_store_key(GOOD, "top") != design_store_key(GOOD, "top")
+
+
+class TestPrepareCacheSize:
+    """``REPRO_PREPARE_CACHE_SIZE`` sizes the ``_prepare`` memo.
+
+    The value is snapshotted when the module loads (the ``lru_cache``
+    wrapper is built at import), so each case runs in a subprocess.
+    """
+
+    @pytest.mark.parametrize("raw,expected", [
+        (None, "256"),        # default
+        ("7", "7"),           # explicit size
+        ("0", "None"),        # zero/negative: unbounded
+        ("-3", "None"),
+        ("many", "256"),      # non-integer: fall back to the default
+    ])
+    def test_maxsize_from_env(self, raw, expected):
+        import repro
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ, PYTHONPATH=src_root)
+        env.pop("REPRO_PREPARE_CACHE_SIZE", None)
+        if raw is not None:
+            env["REPRO_PREPARE_CACHE_SIZE"] = raw
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.vereval.testbench import _prepare; "
+             "print(_prepare.cache_info().maxsize)"],
+            env=env, capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == expected
+
+
 class TestStoreOff:
     def test_no_store_still_counts_elaborations(self, no_store):
         design, failure = _prepare(GOOD, "top")
         assert failure is None and design is not None
         _prepare.cache_clear()
         _prepare(GOOD, "top")
-        assert frontend_counters() == {"elaborations": 2, "design_hits": 0}
+        # Without a store there is no eager lowering either: backends
+        # lower lazily at construction time.
+        assert frontend_counters() == {"elaborations": 2, "design_hits": 0,
+                                       "lowerings": 0, "lowered_hits": 0}
 
     def test_results_unchanged_without_store(self, no_store):
         result = run_testbench(ADDER, problem_by_family("adder"), seed=3)

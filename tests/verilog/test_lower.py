@@ -1,0 +1,307 @@
+"""Lowered-IR serialization: LoweredDesign <-> bytes round trips.
+
+The ``lowered`` store namespace only works if a backend built from a
+store-round-tripped IR is *observationally identical* to one built by
+lowering the AST fresh -- and if every form of blob damage reads as a
+decode error (=> cache miss), never as a subtly different IR.
+"""
+
+import json
+import random
+import zlib
+
+import pytest
+
+from repro.corpus.designs import ALL_FAMILIES
+from repro.verilog.elaborate import elaborate
+from repro.verilog.lower import (
+    LOWERED_SCHEMA_VERSION,
+    LoweredDecodeError,
+    dump_lowered,
+    load_lowered,
+    lower_design,
+    lowered_from_doc,
+    lowering_counters,
+    reset_lowering_counters,
+    seed_lowered,
+)
+from repro.verilog.parser import parse
+from repro.verilog.simulator import Simulator
+
+STEPS = 12
+
+# Memories, hierarchy (flattened instance), casez with wildcards, a for
+# loop and an initial block in one design: every IR node encoder and
+# decoder fires on this source.
+KITCHEN_SINK = """
+module leaf(input [3:0] a, input [3:0] b, output [4:0] s);
+  assign s = {1'b0, a} + {1'b0, b};
+endmodule
+
+module m(input clk, input we, input [2:0] addr, input [7:0] wdata,
+         input [3:0] x, input [3:0] y, output [7:0] rdata,
+         output reg [2:0] zone, output [4:0] summed, output reg [3:0] acc);
+  reg [7:0] mem [0:7];
+  integer i;
+  leaf u_leaf(.a(x), .b(y), .s(summed));
+  assign rdata = mem[addr];
+  initial begin : init_acc
+    acc = 0;
+    for (i = 0; i < 4; i = i + 1)
+      acc = acc + 1;
+  end
+  always @(posedge clk)
+    if (we) mem[addr] <= wdata;
+  always @(*)
+    casez (x)
+      4'b1???: zone = 3;
+      4'b01??: zone = 2;
+      4'b001?: zone = 1;
+      default: zone = x[0] ? 0 : 7;
+    endcase
+endmodule
+"""
+
+
+def _family_cases():
+    for family in ALL_FAMILIES:
+        for style in sorted(family.styles):
+            yield pytest.param(family, style, id=f"{family.name}-{style}")
+
+
+def _corpus_code(family, style):
+    params = family.param_sampler(random.Random(11))
+    return family.styles[style](params, random.Random(12))
+
+
+def _assert_same_trace(original, copy, backend, seed):
+    """Drive both designs with identical random stimulus on ``backend``
+    and require bit-identical four-state values on every signal after
+    every step."""
+    sims = (Simulator(original, backend=backend),
+            Simulator(copy, backend=backend))
+    inputs = [n for n in original.inputs if n != "clk"]
+    widths = {n: original.signal(n).width for n in inputs}
+    has_clock = "clk" in original.inputs
+    rng = random.Random(seed)
+    for step in range(STEPS):
+        vector = {n: rng.randrange(1 << widths[n]) for n in inputs}
+        for sim in sims:
+            sim.poke_many(vector)
+            if has_clock:
+                sim.clock_pulse()
+        diverged = {k: (str(v), str(sims[1].state[k]))
+                    for k, v in sims[0].state.items()
+                    if sims[1].state[k] != v}
+        assert not diverged, (
+            f"{backend} @step{step}: store-served IR diverged: {diverged}")
+        assert sims[0].memories == sims[1].memories, (
+            f"{backend} @step{step}: memory state diverged")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("family,style", _family_cases())
+    def test_corpus_designs_round_trip_equal(self, family, style):
+        lowered = lower_design(elaborate(parse(_corpus_code(family, style))))
+        assert load_lowered(dump_lowered(lowered)) == lowered
+
+    @pytest.mark.parametrize("backend", ["compiled", "vector"])
+    def test_corpus_traces_bit_identical(self, backend):
+        """One design per family: a backend seeded with the
+        store-round-tripped IR must produce bit-identical traces to one
+        that lowered the AST itself."""
+        for family in ALL_FAMILIES:
+            code = _corpus_code(family, sorted(family.styles)[0])
+            design = elaborate(parse(code))
+            copy = elaborate(parse(code))
+            seed_lowered(copy, load_lowered(dump_lowered(lower_design(design))))
+            _assert_same_trace(design, copy, backend, seed=500)
+
+    @pytest.mark.parametrize("backend", ["compiled", "vector"])
+    def test_kitchen_sink_traces_bit_identical(self, backend):
+        design = elaborate(parse(KITCHEN_SINK), top="m")
+        copy = elaborate(parse(KITCHEN_SINK), top="m")
+        loaded = load_lowered(dump_lowered(lower_design(design)))
+        assert loaded == lower_design(design)
+        assert loaded.top == "m"
+        seed_lowered(copy, loaded)
+        _assert_same_trace(design, copy, backend, seed=501)
+
+    def test_round_trip_is_deterministic(self):
+        blob = dump_lowered(lower_design(elaborate(parse(KITCHEN_SINK),
+                                                   top="m")))
+        assert dump_lowered(load_lowered(blob)) == blob
+
+    def test_doc_is_json_clean(self):
+        lowered = lower_design(elaborate(parse(KITCHEN_SINK), top="m"))
+        doc = json.loads(json.dumps(lowered.to_doc()))
+        assert lowered_from_doc(doc) == lowered
+
+    def test_derived_tables_rebuilt(self):
+        """slot maps, widths and trigger-scan tables are derived, not
+        serialized -- the loaded IR must regrow them identically."""
+        lowered = lower_design(elaborate(parse(KITCHEN_SINK), top="m"))
+        loaded = load_lowered(dump_lowered(lowered))
+        assert loaded.slot == lowered.slot
+        assert loaded.mem_slot == lowered.mem_slot
+        assert loaded.widths == lowered.widths
+        assert loaded.n_mems == lowered.n_mems
+        assert loaded.edge_slots == lowered.edge_slots
+        assert loaded.edge_pos == lowered.edge_pos
+
+
+class TestDesignCache:
+    """Satellite: one ``(backend, lanes)``-keyed cache per design."""
+
+    def test_backends_share_one_lowering(self):
+        from repro.verilog.compile import compile_design
+        from repro.verilog.vector import vector_design
+        design = elaborate(parse(KITCHEN_SINK), top="m")
+        reset_lowering_counters()
+        compiled = compile_design(design)
+        vectored = vector_design(design, lanes=4)
+        assert lowering_counters()["lowerings"] == 1
+        assert compiled.lowered is vectored.lowered
+        assert set(design._lowered_cache) \
+            == {("ir", 0), ("compiled", 0), ("vector", 4)}
+        # Same-key constructions are cache hits, per-key otherwise.
+        assert compile_design(design) is compiled
+        assert vector_design(design, lanes=4) is vectored
+        assert vector_design(design, lanes=8) is not vectored
+        assert lowering_counters()["lowerings"] == 1
+
+    def test_seeded_ir_skips_lowering(self):
+        from repro.verilog.compile import compile_design
+        design = elaborate(parse(KITCHEN_SINK), top="m")
+        blob = dump_lowered(lower_design(design))
+        copy = elaborate(parse(KITCHEN_SINK), top="m")
+        seed_lowered(copy, load_lowered(blob))
+        reset_lowering_counters()
+        compile_design(copy)
+        assert lowering_counters() == {"lowerings": 0, "lowered_hits": 0}
+
+
+class TestDecodeStrictness:
+    @pytest.fixture()
+    def blob(self):
+        return dump_lowered(lower_design(elaborate(parse(KITCHEN_SINK),
+                                                   top="m")))
+
+    def test_empty_and_short_blobs(self):
+        for bad in (b"", b"RPL", b"RPL\x01\x00\x00"):
+            with pytest.raises(LoweredDecodeError):
+                load_lowered(bad)
+
+    def test_wrong_magic(self, blob):
+        with pytest.raises(LoweredDecodeError, match="magic"):
+            load_lowered(b"ZIP" + blob[3:])
+
+    def test_design_blob_is_not_a_lowered_blob(self):
+        """The sibling ``designs`` codec shares the envelope shape but
+        not the magic: cross-feeding one store's bytes into the other
+        decoder must fail loudly, not decode garbage."""
+        from repro.verilog.serialize import dump_design
+        design = elaborate(parse(KITCHEN_SINK), top="m")
+        with pytest.raises(LoweredDecodeError, match="magic"):
+            load_lowered(dump_design(design))
+
+    def test_version_skew_is_error(self, blob):
+        stale = blob[:3] + bytes([LOWERED_SCHEMA_VERSION + 1]) + blob[4:]
+        with pytest.raises(LoweredDecodeError, match="version"):
+            load_lowered(stale)
+
+    @pytest.mark.parametrize("offset", [0, 3, 4, 8, 20, -1])
+    def test_flipped_byte_is_error_never_wrong_ir(self, blob, offset):
+        index = offset % len(blob)
+        mutated = (blob[:index]
+                   + bytes([blob[index] ^ 0xFF])
+                   + blob[index + 1:])
+        with pytest.raises(LoweredDecodeError):
+            load_lowered(mutated)
+
+    @pytest.mark.parametrize("keep", [1, 7, 8, 0.5])
+    def test_truncation_is_error(self, blob, keep):
+        cut = keep if isinstance(keep, int) else int(len(blob) * keep)
+        with pytest.raises(LoweredDecodeError):
+            load_lowered(blob[:cut])
+
+    def _envelope(self, doc) -> bytes:
+        """A well-formed envelope around an arbitrary body document, so
+        structural strictness is tested past the CRC gate."""
+        body = json.dumps(doc, separators=(",", ":")).encode()
+        return (b"RPL" + bytes([LOWERED_SCHEMA_VERSION])
+                + (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "big")
+                + zlib.compress(body))
+
+    def _doc(self):
+        return lower_design(elaborate(parse(KITCHEN_SINK), top="m")).to_doc()
+
+    def test_unknown_expression_tag_is_error(self):
+        doc = self._doc()
+        doc["assigns"][0][1] = ["Q", "bogus"]
+        with pytest.raises(LoweredDecodeError, match="expression tag"):
+            load_lowered(self._envelope(doc))
+
+    def test_unknown_statement_tag_is_error(self):
+        doc = self._doc()
+        doc["initials"][0][0] = ["z", 1]
+        with pytest.raises(LoweredDecodeError, match="statement tag"):
+            load_lowered(self._envelope(doc))
+
+    def test_unknown_lowered_field_is_error(self):
+        doc = self._doc()
+        doc["extra"] = 1
+        with pytest.raises(LoweredDecodeError, match="unknown lowered"):
+            load_lowered(self._envelope(doc))
+
+    def test_missing_field_is_error(self):
+        doc = self._doc()
+        del doc["seq"]
+        with pytest.raises(LoweredDecodeError, match="missing lowered"):
+            load_lowered(self._envelope(doc))
+
+    def test_slot_out_of_range_is_error(self):
+        doc = self._doc()
+        doc["seq"][0][0][0][1] = len(doc["signals"])  # sens slot past end
+        with pytest.raises(LoweredDecodeError, match="out of range"):
+            load_lowered(self._envelope(doc))
+
+    def test_mistyped_width_is_error(self):
+        doc = self._doc()
+        doc["signals"][0][1] = "wide"  # width must be an int
+        with pytest.raises(LoweredDecodeError):
+            load_lowered(self._envelope(doc))
+
+    def test_bool_is_not_an_int(self):
+        doc = self._doc()
+        doc["signals"][0][1] = True
+        with pytest.raises(LoweredDecodeError):
+            load_lowered(self._envelope(doc))
+
+    def test_duplicate_signal_name_is_error(self):
+        doc = self._doc()
+        doc["signals"].append(list(doc["signals"][0]))
+        with pytest.raises(LoweredDecodeError, match="duplicate"):
+            load_lowered(self._envelope(doc))
+
+    def test_bad_edge_code_is_error(self):
+        doc = self._doc()
+        doc["seq"][0][0][0][0] = 9
+        with pytest.raises(LoweredDecodeError, match="edge"):
+            load_lowered(self._envelope(doc))
+
+    def test_unknown_operator_is_error(self):
+        doc = self._doc()
+        doc["assigns"][0][1] = ["B", "<=>", ["K", 1, 0, 0], ["K", 1, 0, 0]]
+        with pytest.raises(LoweredDecodeError, match="binary operator"):
+            load_lowered(self._envelope(doc))
+
+    def test_non_canonical_constant_is_error(self):
+        doc = self._doc()
+        doc["assigns"][0][1] = ["K", 4, 3, 3]  # val & xmask != 0
+        with pytest.raises(LoweredDecodeError, match="constant"):
+            load_lowered(self._envelope(doc))
+
+    def test_non_lowered_document_is_error(self):
+        with pytest.raises(LoweredDecodeError):
+            load_lowered(self._envelope([1, 2, 3]))
